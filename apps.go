@@ -1,0 +1,66 @@
+package egoist
+
+import (
+	"fmt"
+
+	"egoist/internal/apps"
+	"egoist/internal/underlay"
+)
+
+// MultipathReport summarizes the multipath file-transfer application
+// (Sect. 6.1) over all source-target pairs of an overlay.
+type MultipathReport struct {
+	// ParallelGain is the mean ratio of aggregate parallel-session rate to
+	// the direct IP-path rate when the source redirects through its k
+	// first-hop neighbors (Fig. 10, lower curve).
+	ParallelGain float64
+	// RedirectionGain is the mean ratio when all peers allow multipath
+	// redirection — the max-flow bound (Fig. 10, upper curve).
+	RedirectionGain float64
+	// Pairs is the number of source-target pairs evaluated.
+	Pairs int
+}
+
+// MultipathGain evaluates the multipath transfer gains over a wiring
+// produced by Simulate (use a Bandwidth-metric run for the paper's
+// setting). The underlay must be the same size as the wiring.
+func MultipathGain(u *underlay.Underlay, wiring [][]int) (*MultipathReport, error) {
+	if u == nil {
+		return nil, fmt.Errorf("egoist: nil underlay")
+	}
+	par, mf, err := apps.SweepMultipathGain(u, wiring)
+	if err != nil {
+		return nil, err
+	}
+	return &MultipathReport{
+		ParallelGain:    par.Mean,
+		RedirectionGain: mf.Mean,
+		Pairs:           par.N,
+	}, nil
+}
+
+// DisjointPathReport summarizes path diversity for real-time traffic
+// (Sect. 6.2).
+type DisjointPathReport struct {
+	// MeanPaths is the mean number of vertex-disjoint overlay paths per
+	// source-target pair (Fig. 11).
+	MeanPaths float64
+	// MinPaths and MaxPaths bound the per-pair counts.
+	MinPaths, MaxPaths float64
+	// Pairs is the number of pairs evaluated.
+	Pairs int
+}
+
+// DisjointPaths counts vertex-disjoint overlay paths over a wiring.
+func DisjointPaths(wiring [][]int) (*DisjointPathReport, error) {
+	stats, err := apps.SweepDisjointPaths(wiring)
+	if err != nil {
+		return nil, err
+	}
+	return &DisjointPathReport{
+		MeanPaths: stats.Mean,
+		MinPaths:  stats.Min,
+		MaxPaths:  stats.Max,
+		Pairs:     stats.N,
+	}, nil
+}

@@ -1,0 +1,93 @@
+// Command egoist-bench regenerates the paper's evaluation figures
+// (Sect. 4–6) as text tables: the same series, normalizations and axes the
+// paper plots, produced by the simulator over the synthetic underlay.
+//
+// Usage:
+//
+//	egoist-bench -fig 1a              # one figure, paper-scale
+//	egoist-bench -fig all -scale quick
+//	egoist-bench -list
+//
+// See DESIGN.md §4 for the figure index and EXPERIMENTS.md for recorded
+// output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"egoist/internal/experiments"
+)
+
+// writeSVG renders one figure to dir/fig-<id>.svg.
+func writeSVG(dir string, fig *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "fig-"+fig.ID+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.RenderSVG(f, fig)
+}
+
+func main() {
+	var (
+		figID   = flag.String("fig", "all", "figure id to regenerate (see -list), or 'all'")
+		scale   = flag.String("scale", "full", "experiment scale: full (paper dimensions) or quick")
+		list    = flag.Bool("list", false, "list available figure ids and exit")
+		maxRows = flag.Int("rows", 30, "max table rows per figure (time series are downsampled)")
+		svgDir  = flag.String("svg", "", "also write one SVG plot per figure into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.Full
+	case "quick":
+		sc = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "egoist-bench: unknown scale %q (want full or quick)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*figID}
+	if *figID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "egoist-bench: unknown figure %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fig, err := runner(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := experiments.Render(os.Stdout, fig, *maxRows); err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: render %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, fig); err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-bench: svg %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("  [figure %s computed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

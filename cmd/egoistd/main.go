@@ -1,0 +1,137 @@
+// Command egoistd runs one live EGOIST overlay node speaking the
+// link-state protocol over UDP. A roster file maps node ids to UDP
+// addresses (one "id host:port" line each); every node in the roster runs
+// its own egoistd.
+//
+// Example 3-node overlay on one machine:
+//
+//	cat > roster.txt <<EOF
+//	0 127.0.0.1:7000
+//	1 127.0.0.1:7001
+//	2 127.0.0.1:7002
+//	EOF
+//	egoistd -id 0 -roster roster.txt -k 2 -epoch 5s &
+//	egoistd -id 1 -roster roster.txt -k 2 -epoch 5s &
+//	egoistd -id 2 -roster roster.txt -k 2 -epoch 5s &
+//
+// Each daemon periodically prints its neighbor set, its view of the
+// overlay, and its delay estimates.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"egoist/internal/core"
+	"egoist/internal/linkstate"
+	"egoist/internal/overlay"
+	"egoist/internal/roster"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", -1, "this node's id (must appear in the roster)")
+		rosterPf  = flag.String("roster", "", "path to roster file: one 'id host:port' line per node")
+		k         = flag.Int("k", 3, "neighbor budget")
+		epoch     = flag.Duration("epoch", 60*time.Second, "wiring epoch T")
+		epsilon   = flag.Float64("epsilon", 0, "BR(eps) threshold")
+		donated   = flag.Int("donated", 0, "HybridBR donated links (k2)")
+		immediate = flag.Bool("immediate", false, "repair dropped links immediately instead of at the next epoch")
+		httpAddr  = flag.String("http", "", "serve /status and /topology.svg on this address (e.g. 127.0.0.1:8080)")
+		verbose   = flag.Bool("v", false, "log protocol events")
+	)
+	flag.Parse()
+
+	members, err := roster.Load(*rosterPf)
+	if err != nil {
+		log.Fatalf("egoistd: %v", err)
+	}
+	self, ok := members[*id]
+	if !ok {
+		log.Fatalf("egoistd: id %d not in roster %s", *id, *rosterPf)
+	}
+
+	transport, err := linkstate.NewUDPTransport(self)
+	if err != nil {
+		log.Fatalf("egoistd: %v", err)
+	}
+	for nid, addr := range members {
+		if nid != *id {
+			ua, err := net.ResolveUDPAddr("udp", addr)
+			if err != nil {
+				log.Fatalf("egoistd: roster entry %d: %v", nid, err)
+			}
+			transport.Register(nid, ua)
+		}
+	}
+	maxID := members.MaxID()
+
+	// Bootstrap from the first two other roster nodes.
+	var boot []int
+	for _, nid := range members.IDs() {
+		if nid != *id && len(boot) < 2 {
+			boot = append(boot, nid)
+		}
+	}
+
+	mode := overlay.Delayed
+	if *immediate {
+		mode = overlay.Immediate
+	}
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	node, err := overlay.Start(overlay.Config{
+		ID: *id, N: maxID + 1, K: *k,
+		Policy:    core.BRPolicy{Donated: *donated},
+		Transport: transport,
+		Epoch:     *epoch,
+		Epsilon:   *epsilon,
+		Mode:      mode,
+		Bootstrap: boot,
+		Seed:      int64(*id) + 1,
+		Logf:      logf,
+	})
+	if err != nil {
+		log.Fatalf("egoistd: %v", err)
+	}
+	log.Printf("egoistd: node %d up on %s (k=%d, T=%v)", *id, self, *k, *epoch)
+	if *httpAddr != "" {
+		bound, shutdown, err := node.ServeHTTP(*httpAddr)
+		if err != nil {
+			log.Fatalf("egoistd: http: %v", err)
+		}
+		defer shutdown()
+		log.Printf("egoistd: status at http://%s/status, topology at http://%s/topology.svg", bound, bound)
+	}
+
+	status := time.NewTicker(*epoch)
+	defer status.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-status.C:
+			known := node.KnownNodes()
+			sort.Ints(known)
+			log.Printf("node %d: neighbors=%v known=%v rewires=%d",
+				*id, node.Neighbors(), known, node.Rewires())
+			for _, peer := range node.Neighbors() {
+				if est, ok := node.Estimate(peer); ok {
+					log.Printf("node %d: est delay to %d: %.2f ms", *id, peer, est)
+				}
+			}
+		case s := <-sig:
+			log.Printf("egoistd: node %d shutting down (%v)", *id, s)
+			node.Stop()
+			return
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package egoist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"egoist/internal/topology"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := Simulate(SimOptions{N: 20, K: 3, Seed: 1, WarmEpochs: 4, MeasureEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCost <= 0 || math.IsNaN(res.MeanCost) {
+		t.Fatalf("MeanCost = %v", res.MeanCost)
+	}
+	if len(res.FinalWiring) != 20 {
+		t.Fatalf("FinalWiring size %d", len(res.FinalWiring))
+	}
+}
+
+func TestSimulateRejectsUnknownKinds(t *testing.T) {
+	if _, err := Simulate(SimOptions{N: 10, K: 2, Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Simulate(SimOptions{N: 10, K: 2, Metric: "nope"}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := Simulate(SimOptions{N: 10, K: 2, CheaterIDs: []int{99}}); err == nil {
+		t.Fatal("out-of-range cheater accepted")
+	}
+}
+
+func TestCompareNormalizesAgainstBR(t *testing.T) {
+	cmp, err := Compare(SimOptions{N: 20, K: 2, Seed: 3, WarmEpochs: 4, MeasureEpochs: 3},
+		KRandom, KRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.Normalized[BR]; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("BR normalized = %v, want 1", got)
+	}
+	for _, p := range []PolicyKind{KRandom, KRegular} {
+		if cmp.Normalized[p] < 1 {
+			t.Fatalf("%v normalized %.3f < 1; BR should win on delay", p, cmp.Normalized[p])
+		}
+	}
+}
+
+func TestCompareBandwidthRatiosBelowOne(t *testing.T) {
+	cmp, err := Compare(SimOptions{N: 18, K: 2, Seed: 4, Metric: Bandwidth, WarmEpochs: 4, MeasureEpochs: 3},
+		KRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Normalized[KRandom] > 1 {
+		t.Fatalf("bandwidth ratio %v > 1; BR should have more bandwidth", cmp.Normalized[KRandom])
+	}
+}
+
+func TestMakeChurnAndRate(t *testing.T) {
+	s, err := MakeChurn(20, 50, 10, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChurnRate(s, 50) <= 0 {
+		t.Fatal("expected positive churn rate")
+	}
+}
+
+func TestSimulateWithCheaters(t *testing.T) {
+	res, err := Simulate(SimOptions{N: 20, K: 2, Seed: 5, WarmEpochs: 4, MeasureEpochs: 3, Cheaters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCost <= 0 {
+		t.Fatalf("MeanCost = %v", res.MeanCost)
+	}
+}
+
+func TestSampleJoinRatios(t *testing.T) {
+	res, err := SampleJoin(SampleJoinOptions{N: 50, K: 3, SampleSize: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ratio["BR-no-sampling"]; got != 1 {
+		t.Fatalf("baseline ratio = %v", got)
+	}
+	for name, r := range res.Ratio {
+		if r <= 0 || math.IsNaN(r) {
+			t.Fatalf("ratio[%s] = %v", name, r)
+		}
+	}
+}
+
+func TestSampleJoinUnknownGraph(t *testing.T) {
+	if _, err := SampleJoin(SampleJoinOptions{N: 30, K: 3, SampleSize: 8, Graph: "nope"}); err == nil {
+		t.Fatal("unknown base graph accepted")
+	}
+}
+
+func TestMultipathAndDisjointFacade(t *testing.T) {
+	u, err := NewUnderlay(14, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimOptions{N: 14, K: 3, Seed: 8, Metric: Bandwidth, WarmEpochs: 3, MeasureEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MultipathGain(u, res.FinalWiring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ParallelGain < 1 || mp.RedirectionGain < mp.ParallelGain-1e-9 {
+		t.Fatalf("gains inconsistent: %+v", mp)
+	}
+	dp, err := DisjointPaths(res.FinalWiring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.MeanPaths <= 0 || dp.Pairs != 14*13 {
+		t.Fatalf("disjoint report %+v", dp)
+	}
+}
+
+func TestMultipathNilUnderlay(t *testing.T) {
+	if _, err := MultipathGain(nil, nil); err == nil {
+		t.Fatal("nil underlay accepted")
+	}
+}
+
+func TestStartLocalOverlayLifecycle(t *testing.T) {
+	lo, err := StartLocalOverlay(LiveOptions{N: 6, K: 2, Epoch: 60 * time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lo.Stop()
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for i := 0; i < lo.N(); i++ {
+			if lo.Known(i) < lo.N()-1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("live overlay never reached full mutual knowledge")
+}
+
+func TestStartLocalOverlayValidation(t *testing.T) {
+	if _, err := StartLocalOverlay(LiveOptions{N: 1, K: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := StartLocalOverlay(LiveOptions{N: 5, K: 1, Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSimulateOverDelayTrace(t *testing.T) {
+	m := topology.Waxman(16, 120, newRand(3))
+	res, err := Simulate(SimOptions{
+		N: 16, K: 3, Seed: 2, WarmEpochs: 4, MeasureEpochs: 3, Delays: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCost <= 0 || res.MeanCost >= 1e6 {
+		t.Fatalf("trace-driven cost %v", res.MeanCost)
+	}
+	// Size mismatch must be rejected.
+	if _, err := Simulate(SimOptions{N: 10, K: 2, Delays: m}); err == nil {
+		t.Fatal("trace size mismatch accepted")
+	}
+}
+
+func TestLoadDelayTraceMissing(t *testing.T) {
+	if _, err := LoadDelayTrace("/nonexistent/trace.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPolicyAndMetricEnumerations(t *testing.T) {
+	if len(Policies()) != 6 {
+		t.Fatalf("Policies() = %v", Policies())
+	}
+	if len(Metrics()) != 4 {
+		t.Fatalf("Metrics() = %v", Metrics())
+	}
+	if !Bandwidth.HigherIsBetter() || DelayPing.HigherIsBetter() {
+		t.Fatal("HigherIsBetter wrong")
+	}
+}

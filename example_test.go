@@ -1,0 +1,61 @@
+package egoist_test
+
+import (
+	"fmt"
+
+	"egoist"
+)
+
+// ExampleSimulate runs a small overlay simulation with the default
+// Best-Response policy and checks the overlay stayed connected.
+func ExampleSimulate() {
+	res, err := egoist.Simulate(egoist.SimOptions{
+		N: 20, K: 3, Seed: 1,
+		WarmEpochs: 5, MeasureEpochs: 5,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("connected:", res.MeanCost < 1e6)
+	fmt.Println("nodes wired:", len(res.FinalWiring))
+	// Output:
+	// connected: true
+	// nodes wired: 20
+}
+
+// ExampleCompare reproduces the Fig. 1 primitive: heuristic policies cost
+// more than Best Response under the delay metric.
+func ExampleCompare() {
+	cmp, err := egoist.Compare(egoist.SimOptions{
+		N: 20, K: 3, Seed: 1, WarmEpochs: 5, MeasureEpochs: 5,
+	}, egoist.KRandom, egoist.KRegular)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("BR normalized:", cmp.Normalized[egoist.BR])
+	fmt.Println("k-Random worse than BR:", cmp.Normalized[egoist.KRandom] > 1)
+	fmt.Println("k-Regular worse than BR:", cmp.Normalized[egoist.KRegular] > 1)
+	// Output:
+	// BR normalized: 1
+	// k-Random worse than BR: true
+	// k-Regular worse than BR: true
+}
+
+// ExampleSampleJoin shows a newcomer joining a large overlay with BR over
+// a topology-biased sample (Sect. 5).
+func ExampleSampleJoin() {
+	res, err := egoist.SampleJoin(egoist.SampleJoinOptions{
+		N: 60, K: 3, SampleSize: 12, Radius: 2, Seed: 4,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("baseline ratio:", res.Ratio["BR-no-sampling"])
+	fmt.Println("sampled BR within 3x of full BR:", res.Ratio["BR"] < 3)
+	// Output:
+	// baseline ratio: 1
+	// sampled BR within 3x of full BR: true
+}

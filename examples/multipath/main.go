@@ -1,0 +1,45 @@
+// Multipath file transfer (paper Sect. 6.1, Fig. 10): build a
+// bandwidth-optimized EGOIST overlay, then measure how much more
+// throughput a source can reach by opening parallel sessions through its
+// first-hop overlay neighbors — escaping per-session rate caps at AS
+// peering points — versus the single native IP path. Also reports the
+// max-flow bound when every peer allows redirection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"egoist"
+)
+
+func main() {
+	const n = 40
+	const seed = 21
+
+	u, err := egoist.NewUnderlay(n, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("k   parallel-gain   redirection-gain (max-flow bound)")
+	for _, k := range []int{2, 3, 4, 5, 6, 7, 8} {
+		res, err := egoist.Simulate(egoist.SimOptions{
+			N: n, K: k, Seed: seed,
+			Metric:     egoist.Bandwidth,
+			WarmEpochs: 8, MeasureEpochs: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain, err := egoist.MultipathGain(u, res.FinalWiring)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d   %13.2fx  %16.2fx\n", k, gain.ParallelGain, gain.RedirectionGain)
+	}
+	fmt.Println("\nGains > 1 mean the overlay beats the direct IP path; the gap")
+	fmt.Println("between the two columns is the headroom full multipath")
+	fmt.Println("redirection (Fig. 10, upper curve) adds over first-hop-only")
+	fmt.Println("parallel sessions.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: compare EGOIST's Best-Response neighbor selection against
+// the empirical heuristics on a simulated 30-node overlay, then spin up a
+// small live overlay (real link-state protocol over an in-memory datagram
+// bus) and watch it converge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"egoist"
+)
+
+func main() {
+	// --- Part 1: simulated comparison (the Fig. 1 primitive) -------------
+	fmt.Println("== Simulated 30-node overlay, k=4, delay metric ==")
+	cmp, err := egoist.Compare(egoist.SimOptions{
+		N: 30, K: 4, Seed: 7,
+		Metric:     egoist.DelayPing,
+		WarmEpochs: 10, MeasureEpochs: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cost normalized by BR (1.0 = BR; higher = worse):")
+	for _, p := range []egoist.PolicyKind{egoist.BR, egoist.KClosest, egoist.KRandom, egoist.KRegular} {
+		fmt.Printf("  %-10s %.2f\n", p, cmp.Normalized[p])
+	}
+
+	// --- Part 2: live overlay --------------------------------------------
+	fmt.Println("\n== Live 8-node overlay (in-memory transport, BR policy) ==")
+	lo, err := egoist.StartLocalOverlay(egoist.LiveOptions{
+		N: 8, K: 2, Epoch: 200 * time.Millisecond, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lo.Stop()
+
+	// Wait for full mutual knowledge and for selfish re-wiring to kick in.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		full, rewired := true, 0
+		for i := 0; i < lo.N(); i++ {
+			if lo.Known(i) < lo.N()-1 {
+				full = false
+				break
+			}
+			rewired += lo.Rewires(i)
+		}
+		if full && rewired > 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	rewires := 0
+	for i := 0; i < lo.N(); i++ {
+		fmt.Printf("  node %d: neighbors=%v (knows %d peers)\n", i, lo.Neighbors(i), lo.Known(i))
+		rewires += lo.Rewires(i)
+	}
+	fmt.Printf("  total links established after bootstrap: %d\n", rewires)
+}

@@ -1,0 +1,205 @@
+// Package apps implements the two applications of Sect. 6 that use EGOIST
+// as a redirection stepping-stone:
+//
+//   - multipath file transfer: a source opens up to k parallel sessions to
+//     a target, each redirected through a different first-hop overlay
+//     neighbor, to escape per-session rate caps at AS peering points
+//     (Fig. 9/10);
+//   - real-time traffic: counting vertex-disjoint overlay paths available
+//     for redundant transmission (Fig. 11).
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"egoist/internal/graph"
+	"egoist/internal/underlay"
+)
+
+// MultipathResult reports the achievable rates between one source-target
+// pair.
+type MultipathResult struct {
+	// Direct is the single-session rate over the native IP path.
+	Direct float64
+	// Parallel is the aggregate rate of parallel sessions redirected
+	// through the source's first-hop overlay neighbors (one session each).
+	Parallel float64
+	// MaxFlow is the theoretical bound when every peer allows multipath
+	// redirection: the max-flow from source to target over the overlay.
+	MaxFlow float64
+}
+
+// Gain returns Parallel/Direct, the paper's "available bandwidth gain".
+func (r MultipathResult) Gain() float64 {
+	if r.Direct == 0 {
+		return math.NaN()
+	}
+	return r.Parallel / r.Direct
+}
+
+// MaxGain returns MaxFlow/Direct.
+func (r MultipathResult) MaxGain() float64 {
+	if r.Direct == 0 {
+		return math.NaN()
+	}
+	return r.MaxFlow / r.Direct
+}
+
+// Multipath evaluates the multipath transfer application for a
+// source-target pair over an overlay wiring. u supplies session caps and
+// available bandwidths; wiring[i] lists i's overlay neighbors.
+//
+// Each of the source's first-hop neighbors carries at most one session
+// whose rate is limited by (a) the session cap at the source's peering
+// point toward that neighbor, (b) the available bandwidth of the overlay
+// hop, and (c) the bottleneck of the remaining overlay path from the
+// neighbor to the target.
+func Multipath(u *underlay.Underlay, wiring [][]int, src, dst int) (MultipathResult, error) {
+	n := u.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		return MultipathResult{}, fmt.Errorf("apps: bad pair (%d,%d)", src, dst)
+	}
+	if len(wiring) != n {
+		return MultipathResult{}, fmt.Errorf("apps: wiring has %d nodes, want %d", len(wiring), n)
+	}
+	g := bwGraph(u, wiring)
+
+	res := MultipathResult{
+		Direct: math.Min(u.AvailBW(src, dst), u.PeeringSessionCap(src, dst)),
+	}
+
+	// Parallel sessions: one per first-hop neighbor. A session through
+	// neighbor w gets min(cap(src,w), bw(src,w), widest(w->dst) in the
+	// residual overlay without src).
+	resid := g.WithoutNode(src)
+	for _, w := range wiring[src] {
+		var hop2 float64
+		if w == dst {
+			hop2 = math.Inf(1)
+		} else {
+			widest, _ := graph.Widest(resid, w)
+			hop2 = widest[dst]
+		}
+		rate := math.Min(u.PeeringSessionCap(src, w), math.Min(u.AvailBW(src, w), hop2))
+		if rate > 0 && !math.IsInf(rate, 1) {
+			res.Parallel += rate
+		} else if math.IsInf(rate, 1) {
+			res.Parallel += u.PeeringSessionCap(src, w)
+		}
+	}
+	// A source that may also use the direct path keeps its own session.
+	res.Parallel = math.Max(res.Parallel, res.Direct)
+
+	res.MaxFlow = graph.MaxFlow(g, src, dst)
+	if res.MaxFlow < res.Parallel {
+		res.MaxFlow = res.Parallel
+	}
+	return res, nil
+}
+
+// bwGraph builds the overlay graph whose edge capacities are the session-
+// capped available bandwidths of established links.
+func bwGraph(u *underlay.Underlay, wiring [][]int) *graph.Digraph {
+	g := graph.New(u.N())
+	for i, ws := range wiring {
+		for _, j := range ws {
+			capij := math.Min(u.AvailBW(i, j), u.PeeringSessionCap(i, j))
+			g.AddArc(i, j, capij)
+		}
+	}
+	return g
+}
+
+// DisjointPaths counts the vertex-disjoint overlay paths from src to dst
+// over the wiring — the redundancy available to a real-time application
+// sending duplicate streams (Fig. 11).
+func DisjointPaths(wiring [][]int, src, dst int) (int, error) {
+	n := len(wiring)
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		return 0, fmt.Errorf("apps: bad pair (%d,%d)", src, dst)
+	}
+	g := graph.New(n)
+	for i, ws := range wiring {
+		for _, j := range ws {
+			g.AddArc(i, j, 1)
+		}
+	}
+	return graph.VertexDisjointPaths(g, src, dst), nil
+}
+
+// PairStats aggregates an application metric over all source-target pairs.
+type PairStats struct {
+	Mean float64
+	Min  float64
+	Max  float64
+	N    int
+}
+
+// SweepMultipathGain runs Multipath over every ordered pair and returns
+// statistics of the parallel-session gain and of the max-flow gain.
+func SweepMultipathGain(u *underlay.Underlay, wiring [][]int) (parallel, maxflow PairStats, err error) {
+	parallel.Min, maxflow.Min = math.Inf(1), math.Inf(1)
+	n := u.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			res, e := Multipath(u, wiring, s, d)
+			if e != nil {
+				return parallel, maxflow, e
+			}
+			g, mg := res.Gain(), res.MaxGain()
+			if math.IsNaN(g) || math.IsNaN(mg) {
+				continue
+			}
+			parallel = parallel.fold(g)
+			maxflow = maxflow.fold(mg)
+		}
+	}
+	parallel.finish()
+	maxflow.finish()
+	return parallel, maxflow, nil
+}
+
+// SweepDisjointPaths averages the disjoint-path count over all pairs.
+func SweepDisjointPaths(wiring [][]int) (PairStats, error) {
+	stats := PairStats{Min: math.Inf(1)}
+	n := len(wiring)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p, err := DisjointPaths(wiring, s, d)
+			if err != nil {
+				return stats, err
+			}
+			stats = stats.fold(float64(p))
+		}
+	}
+	stats.finish()
+	return stats, nil
+}
+
+func (s PairStats) fold(v float64) PairStats {
+	s.Mean += v
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	s.N++
+	return s
+}
+
+func (s *PairStats) finish() {
+	if s.N > 0 {
+		s.Mean /= float64(s.N)
+	} else {
+		s.Mean = math.NaN()
+		s.Min = math.NaN()
+	}
+}

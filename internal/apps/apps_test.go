@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"egoist/internal/underlay"
+)
+
+func testUnderlay(t *testing.T, n int) *underlay.Underlay {
+	t.Helper()
+	u, err := underlay.New(underlay.Config{N: n, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// ringWiring wires node i to its k ring successors.
+func ringWiring(n, k int) [][]int {
+	w := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			w[i] = append(w[i], (i+j)%n)
+		}
+	}
+	return w
+}
+
+func TestMultipathValidation(t *testing.T) {
+	u := testUnderlay(t, 10)
+	w := ringWiring(10, 2)
+	if _, err := Multipath(u, w, 0, 0); err == nil {
+		t.Fatal("same src/dst accepted")
+	}
+	if _, err := Multipath(u, w, -1, 3); err == nil {
+		t.Fatal("negative src accepted")
+	}
+	if _, err := Multipath(u, w[:5], 0, 3); err == nil {
+		t.Fatal("short wiring accepted")
+	}
+}
+
+func TestMultipathGainAtLeastOne(t *testing.T) {
+	u := testUnderlay(t, 16)
+	w := ringWiring(16, 3)
+	for d := 1; d < 16; d++ {
+		res, err := Multipath(u, w, 0, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Direct <= 0 {
+			t.Fatalf("direct rate to %d = %v", d, res.Direct)
+		}
+		if g := res.Gain(); g < 1-1e-9 || math.IsNaN(g) {
+			t.Fatalf("gain to %d = %v, want >= 1", d, g)
+		}
+		if res.MaxFlow < res.Parallel-1e-9 {
+			t.Fatalf("max-flow %v below parallel %v", res.MaxFlow, res.Parallel)
+		}
+	}
+}
+
+func TestMultipathMoreNeighborsMoreGain(t *testing.T) {
+	u := testUnderlay(t, 20)
+	sum := func(k int) float64 {
+		w := ringWiring(20, k)
+		stats, _, err := SweepMultipathGain(u, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean
+	}
+	if g2, g6 := sum(2), sum(6); g6 < g2 {
+		t.Fatalf("gain with k=6 (%.2f) below k=2 (%.2f)", g6, g2)
+	}
+}
+
+func TestDisjointPathsRing(t *testing.T) {
+	// Simple ring k=1: exactly one path between any pair.
+	w := ringWiring(6, 1)
+	p, err := DisjointPaths(w, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("ring disjoint paths = %d, want 1", p)
+	}
+	// k=2 ring (chords): 2 disjoint paths.
+	w2 := ringWiring(6, 2)
+	p2, err := DisjointPaths(w2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != 2 {
+		t.Fatalf("k=2 ring disjoint paths = %d, want 2", p2)
+	}
+}
+
+func TestDisjointPathsGrowWithK(t *testing.T) {
+	stats := func(k int) float64 {
+		s, err := SweepDisjointPaths(ringWiring(12, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean
+	}
+	if s2, s4 := stats(2), stats(4); s4 <= s2 {
+		t.Fatalf("disjoint paths did not grow with k: k=2 %.2f k=4 %.2f", s2, s4)
+	}
+}
+
+func TestDisjointPathsValidation(t *testing.T) {
+	w := ringWiring(5, 1)
+	if _, err := DisjointPaths(w, 2, 2); err == nil {
+		t.Fatal("same pair accepted")
+	}
+	if _, err := DisjointPaths(w, 0, 9); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestSweepStatsShape(t *testing.T) {
+	u := testUnderlay(t, 10)
+	par, mf, err := SweepMultipathGain(u, ringWiring(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.N != 90 || mf.N != 90 {
+		t.Fatalf("pair counts %d/%d, want 90", par.N, mf.N)
+	}
+	if par.Mean < 1 || mf.Mean < par.Mean-1e-9 {
+		t.Fatalf("means parallel %.2f maxflow %.2f violate ordering", par.Mean, mf.Mean)
+	}
+	if par.Min > par.Mean || par.Max < par.Mean {
+		t.Fatalf("min/mean/max inconsistent: %+v", par)
+	}
+}

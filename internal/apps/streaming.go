@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"egoist/internal/graph"
+)
+
+// StreamingConfig parameterizes the real-time traffic experiment of
+// Sect. 6.2: a source duplicates every packet over up to Copies
+// vertex-disjoint overlay paths; a packet is useful only if at least one
+// copy arrives before the playout deadline, surviving per-hop loss and
+// jitter.
+type StreamingConfig struct {
+	// Wiring is the overlay adjacency (from a delay-metric EGOIST run).
+	Wiring [][]int
+	// Delay returns the one-way delay of overlay link (i,j) in ms.
+	Delay func(i, j int) float64
+	// Copies bounds how many disjoint paths carry duplicates (<= k).
+	Copies int
+	// DeadlineMS is the playout deadline.
+	DeadlineMS float64
+	// LossPerHop is the independent per-overlay-hop loss probability.
+	LossPerHop float64
+	// JitterFrac is the relative stddev of per-hop delay jitter.
+	JitterFrac float64
+	// Packets is the number of simulated packets per pair (default 200).
+	Packets int
+	// Seed drives the loss/jitter randomness.
+	Seed int64
+}
+
+// StreamingResult reports delivery quality for one source-target pair.
+type StreamingResult struct {
+	// PathsUsed is the number of vertex-disjoint paths actually found.
+	PathsUsed int
+	// InTime is the fraction of packets with >= 1 copy before deadline.
+	InTime float64
+	// Lost is the fraction of packets where every copy was dropped.
+	Lost float64
+}
+
+// Stream simulates duplicated transmission from src to dst.
+func Stream(cfg StreamingConfig, src, dst int) (StreamingResult, error) {
+	n := len(cfg.Wiring)
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		return StreamingResult{}, fmt.Errorf("apps: bad pair (%d,%d)", src, dst)
+	}
+	if cfg.Copies < 1 {
+		return StreamingResult{}, fmt.Errorf("apps: need >= 1 copy")
+	}
+	if cfg.Delay == nil {
+		return StreamingResult{}, fmt.Errorf("apps: missing delay function")
+	}
+	packets := cfg.Packets
+	if packets == 0 {
+		packets = 200
+	}
+	paths := disjointPathSet(cfg.Wiring, cfg.Delay, src, dst, cfg.Copies)
+	if len(paths) == 0 {
+		return StreamingResult{PathsUsed: 0, InTime: 0, Lost: 1}, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := StreamingResult{PathsUsed: len(paths)}
+	inTime, lost := 0, 0
+	for p := 0; p < packets; p++ {
+		anyArrived, anyInTime := false, false
+		for _, path := range paths {
+			arrived := true
+			delay := 0.0
+			for h := 0; h+1 < len(path); h++ {
+				if rng.Float64() < cfg.LossPerHop {
+					arrived = false
+					break
+				}
+				hop := cfg.Delay(path[h], path[h+1])
+				delay += hop * (1 + rng.NormFloat64()*cfg.JitterFrac)
+			}
+			if arrived {
+				anyArrived = true
+				if delay <= cfg.DeadlineMS {
+					anyInTime = true
+					break
+				}
+			}
+		}
+		if anyInTime {
+			inTime++
+		}
+		if !anyArrived {
+			lost++
+		}
+	}
+	res.InTime = float64(inTime) / float64(packets)
+	res.Lost = float64(lost) / float64(packets)
+	return res, nil
+}
+
+// disjointPathSet extracts up to m vertex-disjoint src->dst paths, cheapest
+// first: repeatedly take the shortest path and remove its intermediate
+// nodes. (Greedy, not max-flow optimal, matching what a streaming
+// application can discover online.)
+func disjointPathSet(wiring [][]int, delay func(i, j int) float64, src, dst, m int) [][]int {
+	n := len(wiring)
+	g := graph.New(n)
+	for i, ws := range wiring {
+		for _, j := range ws {
+			g.AddArc(i, j, delay(i, j))
+		}
+	}
+	var paths [][]int
+	for len(paths) < m {
+		_, parent := graph.Dijkstra(g, src)
+		path := graph.PathTo(parent, src, dst)
+		if path == nil {
+			break
+		}
+		paths = append(paths, path)
+		for _, v := range path {
+			if v != src && v != dst {
+				g.ClearNode(v)
+			}
+		}
+		// Direct edge may remain; remove it so the next path differs.
+		g.RemoveArc(src, dst)
+	}
+	return paths
+}
+
+// StreamSweep averages Stream over sampled pairs for each copy count
+// 1..maxCopies, returning InTime fractions — the quality-vs-redundancy
+// curve of the Sect. 6.2 application.
+func StreamSweep(cfg StreamingConfig, maxCopies, pairs int) ([]float64, error) {
+	n := len(cfg.Wiring)
+	if n < 2 {
+		return nil, fmt.Errorf("apps: overlay too small")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	type pair struct{ s, d int }
+	var ps []pair
+	for len(ps) < pairs {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			ps = append(ps, pair{s, d})
+		}
+	}
+	out := make([]float64, 0, maxCopies)
+	for copies := 1; copies <= maxCopies; copies++ {
+		c := cfg
+		c.Copies = copies
+		total := 0.0
+		for i, p := range ps {
+			c.Seed = cfg.Seed + int64(i)*31
+			r, err := Stream(c, p.s, p.d)
+			if err != nil {
+				return nil, err
+			}
+			total += r.InTime
+		}
+		out = append(out, total/float64(len(ps)))
+	}
+	return out, nil
+}

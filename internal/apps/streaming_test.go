@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"testing"
+
+	"egoist/internal/topology"
+)
+
+func streamCfg(n, k int) StreamingConfig {
+	m := topology.RingLattice(n, 5)
+	return StreamingConfig{
+		Wiring:     ringWiring(n, k),
+		Delay:      func(i, j int) float64 { return m[i][j] },
+		Copies:     2,
+		DeadlineMS: 100,
+		LossPerHop: 0.05,
+		JitterFrac: 0.1,
+		Packets:    300,
+		Seed:       1,
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	cfg := streamCfg(8, 2)
+	if _, err := Stream(cfg, 0, 0); err == nil {
+		t.Fatal("same pair accepted")
+	}
+	bad := cfg
+	bad.Copies = 0
+	if _, err := Stream(bad, 0, 3); err == nil {
+		t.Fatal("zero copies accepted")
+	}
+	bad2 := cfg
+	bad2.Delay = nil
+	if _, err := Stream(bad2, 0, 3); err == nil {
+		t.Fatal("nil delay accepted")
+	}
+}
+
+func TestStreamDeliversOnCleanNetwork(t *testing.T) {
+	cfg := streamCfg(8, 2)
+	cfg.LossPerHop = 0
+	cfg.JitterFrac = 0
+	cfg.DeadlineMS = 1e6
+	res, err := Stream(cfg, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InTime != 1 || res.Lost != 0 {
+		t.Fatalf("clean network: %+v", res)
+	}
+	if res.PathsUsed < 2 {
+		t.Fatalf("found %d disjoint paths on k=2 ring, want 2", res.PathsUsed)
+	}
+}
+
+func TestStreamImpossibleDeadline(t *testing.T) {
+	cfg := streamCfg(8, 2)
+	cfg.DeadlineMS = 0.0001
+	res, err := Stream(cfg, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InTime != 0 {
+		t.Fatalf("in-time fraction %v with an impossible deadline", res.InTime)
+	}
+}
+
+func TestStreamRedundancyBeatsLoss(t *testing.T) {
+	// With heavy loss, more copies should raise in-time delivery.
+	cfg := streamCfg(10, 3)
+	cfg.LossPerHop = 0.25
+	cfg.DeadlineMS = 1e6
+	cfg.Packets = 800
+
+	one := cfg
+	one.Copies = 1
+	r1, err := Stream(one, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := cfg
+	three.Copies = 3
+	r3, err := Stream(three, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.InTime <= r1.InTime {
+		t.Fatalf("redundancy did not help: 1 copy %.2f vs 3 copies %.2f", r1.InTime, r3.InTime)
+	}
+	if r3.Lost >= r1.Lost {
+		t.Fatalf("loss did not shrink: %.2f vs %.2f", r1.Lost, r3.Lost)
+	}
+}
+
+func TestStreamSweepIncreasing(t *testing.T) {
+	cfg := streamCfg(12, 3)
+	cfg.LossPerHop = 0.2
+	cfg.DeadlineMS = 1e6
+	curve, err := StreamSweep(cfg, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve %v", curve)
+	}
+	if curve[2] <= curve[0] {
+		t.Fatalf("delivery did not improve with copies: %v", curve)
+	}
+}
+
+func TestDisjointPathSetActuallyDisjoint(t *testing.T) {
+	cfg := streamCfg(10, 3)
+	paths := disjointPathSet(cfg.Wiring, cfg.Delay, 0, 5, 3)
+	seen := map[int]bool{}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 5 {
+			t.Fatalf("path %v has wrong endpoints", p)
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Fatalf("intermediate node %d shared between paths", v)
+			}
+			seen[v] = true
+		}
+	}
+}

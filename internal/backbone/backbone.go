@@ -1,0 +1,235 @@
+// Package backbone implements connectivity backbones for HybridBR's
+// donated links (Sect. 3.3): the bidirectional-cycle construction EGOIST
+// uses, and the k-MST construction of Young et al. that the paper argues
+// against. Both produce, for a given membership, the set of links each
+// node must maintain; comparing how those sets shift when membership
+// changes quantifies the paper's argument that MSTs "must always be
+// updated" while cycles only touch a failure's ring neighbors.
+package backbone
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"egoist/internal/core"
+	"egoist/internal/graph"
+)
+
+// Kind selects the backbone construction.
+type Kind int
+
+const (
+	// Cycles is EGOIST's construction: k2/2 bidirectional cycles over the
+	// alive id ring.
+	Cycles Kind = iota
+	// MST builds minimum spanning trees over the (symmetrized) link
+	// costs; k2 >= 4 adds a second, edge-disjoint tree.
+	MST
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Cycles:
+		return "cycles"
+	case MST:
+		return "k-MST"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Links returns, for every node, the sorted backbone adjacencies it must
+// maintain under the given membership. cost(i,j) supplies link costs (only
+// used by MST); k2 is the donated-link budget per node. Dead nodes get nil.
+//
+// Note the structural difference the paper calls out: with Cycles every
+// alive node maintains exactly min(k2, alive-1) links, while an MST does
+// not respect per-node budgets — hub nodes can exceed k2.
+func Links(kind Kind, n int, active []bool, cost func(i, j int) float64, k2 int) ([][]int, error) {
+	if k2 < 1 {
+		return nil, fmt.Errorf("backbone: k2 = %d, need >= 1", k2)
+	}
+	switch kind {
+	case Cycles:
+		out := make([][]int, n)
+		for v := 0; v < n; v++ {
+			if active == nil || active[v] {
+				out[v] = core.DonatedTargets(v, n, k2, active)
+			}
+		}
+		return out, nil
+	case MST:
+		return mstLinks(n, active, cost, k2)
+	default:
+		return nil, fmt.Errorf("backbone: unknown kind %d", kind)
+	}
+}
+
+// mstLinks builds one MST (k2 < 4) or two edge-disjoint MSTs (k2 >= 4)
+// over the alive nodes and returns the bidirectional adjacency lists.
+func mstLinks(n int, active []bool, cost func(i, j int) float64, k2 int) ([][]int, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("backbone: MST requires a cost function")
+	}
+	var alive []int
+	for v := 0; v < n; v++ {
+		if active == nil || active[v] {
+			alive = append(alive, v)
+		}
+	}
+	out := make([][]int, n)
+	if len(alive) < 2 {
+		return out, nil
+	}
+	sym := func(i, j int) float64 {
+		return math.Min(cost(i, j), cost(j, i))
+	}
+	forbidden := map[[2]int]bool{}
+	trees := 1
+	if k2 >= 4 {
+		trees = 2
+	}
+	adj := make(map[int]map[int]bool, len(alive))
+	for t := 0; t < trees; t++ {
+		edges, err := prim(alive, sym, forbidden)
+		if err != nil {
+			if t == 0 {
+				return nil, err
+			}
+			break // second edge-disjoint tree may not exist; keep the first
+		}
+		for _, e := range edges {
+			forbidden[normPair(e[0], e[1])] = true
+			if adj[e[0]] == nil {
+				adj[e[0]] = map[int]bool{}
+			}
+			if adj[e[1]] == nil {
+				adj[e[1]] = map[int]bool{}
+			}
+			adj[e[0]][e[1]] = true
+			adj[e[1]][e[0]] = true
+		}
+	}
+	for v, peers := range adj {
+		for p := range peers {
+			out[v] = append(out[v], p)
+		}
+		sort.Ints(out[v])
+	}
+	return out, nil
+}
+
+// prim computes an MST over members with the given symmetric cost,
+// skipping forbidden edges. It returns the tree's edges.
+func prim(members []int, cost func(i, j int) float64, forbidden map[[2]int]bool) ([][2]int, error) {
+	in := map[int]bool{members[0]: true}
+	var edges [][2]int
+	pq := &edgeHeap{}
+	push := func(from int) {
+		for _, to := range members {
+			if !in[to] && !forbidden[normPair(from, to)] {
+				heap.Push(pq, edgeItem{from: from, to: to, w: cost(from, to)})
+			}
+		}
+	}
+	push(members[0])
+	for len(in) < len(members) {
+		if pq.Len() == 0 {
+			return nil, fmt.Errorf("backbone: MST disconnected (forbidden edges exhausted)")
+		}
+		e := heap.Pop(pq).(edgeItem)
+		if in[e.to] {
+			continue
+		}
+		in[e.to] = true
+		edges = append(edges, [2]int{e.from, e.to})
+		push(e.to)
+	}
+	return edges, nil
+}
+
+func normPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+type edgeItem struct {
+	from, to int
+	w        float64
+}
+
+type edgeHeap []edgeItem
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].w < h[j].w }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(edgeItem)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Connected reports whether the backbone adjacencies connect all alive
+// nodes (treating links as bidirectional, as both constructions do).
+func Connected(links [][]int, active []bool) bool {
+	n := len(links)
+	g := graph.New(n)
+	for v, peers := range links {
+		for _, p := range peers {
+			g.AddArc(v, p, 1)
+			g.AddArc(p, v, 1)
+		}
+	}
+	return graph.StronglyConnected(g, active)
+}
+
+// MaintenanceCost reports how many link changes (additions across all
+// nodes) moving from the backbone of membership `before` to that of
+// `after` requires — the churn-maintenance burden of Sect. 3.3's
+// discussion.
+func MaintenanceCost(kind Kind, n int, before, after []bool, cost func(i, j int) float64, k2 int) (int, error) {
+	oldLinks, err := Links(kind, n, before, cost, k2)
+	if err != nil {
+		return 0, err
+	}
+	newLinks, err := Links(kind, n, after, cost, k2)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		if after != nil && !after[v] {
+			continue
+		}
+		om := map[int]bool{}
+		for _, p := range oldLinks[v] {
+			om[p] = true
+		}
+		for _, p := range newLinks[v] {
+			if !om[p] {
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// MaxDegree returns the largest per-node backbone degree — the budget
+// violation risk of tree-based backbones.
+func MaxDegree(links [][]int) int {
+	maxd := 0
+	for _, peers := range links {
+		if len(peers) > maxd {
+			maxd = len(peers)
+		}
+	}
+	return maxd
+}

@@ -1,0 +1,249 @@
+package backbone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"egoist/internal/underlay"
+)
+
+func delayCost(t *testing.T, n int, seed int64) func(i, j int) float64 {
+	t.Helper()
+	u, err := underlay.New(underlay.Config{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Delay
+}
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestCyclesConnected(t *testing.T) {
+	const n = 20
+	links, err := Links(Cycles, n, allActive(n), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(links, allActive(n)) {
+		t.Fatal("cycle backbone disconnected")
+	}
+	for v, peers := range links {
+		if len(peers) != 2 {
+			t.Fatalf("node %d has %d donated links, want 2", v, len(peers))
+		}
+	}
+}
+
+func TestCyclesRespectBudgetUnderChurn(t *testing.T) {
+	const n = 15
+	active := allActive(n)
+	active[3], active[7], active[11] = false, false, false
+	links, err := Links(Cycles, n, active, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(links, active) {
+		t.Fatal("cycle backbone disconnected under churn")
+	}
+	for v, peers := range links {
+		if !active[v] && peers != nil {
+			t.Fatalf("dead node %d has links %v", v, peers)
+		}
+		if len(peers) > 4 {
+			t.Fatalf("node %d exceeds budget: %v", v, peers)
+		}
+		for _, p := range peers {
+			if !active[p] {
+				t.Fatalf("node %d links to dead node %d", v, p)
+			}
+		}
+	}
+}
+
+func TestMSTConnectedAndMinimal(t *testing.T) {
+	const n = 20
+	cost := delayCost(t, n, 1)
+	links, err := Links(MST, n, allActive(n), cost, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(links, allActive(n)) {
+		t.Fatal("MST backbone disconnected")
+	}
+	// A tree over n nodes has n-1 edges = 2(n-1) adjacency entries.
+	entries := 0
+	for _, peers := range links {
+		entries += len(peers)
+	}
+	if entries != 2*(n-1) {
+		t.Fatalf("MST adjacency entries = %d, want %d", entries, 2*(n-1))
+	}
+}
+
+func TestTwoEdgeDisjointMSTs(t *testing.T) {
+	const n = 12
+	cost := delayCost(t, n, 2)
+	links, err := Links(MST, n, allActive(n), cost, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	for _, peers := range links {
+		entries += len(peers)
+	}
+	// Two edge-disjoint trees: 2 * 2(n-1) entries (complete cost graph
+	// always admits a second tree).
+	if entries != 4*(n-1) {
+		t.Fatalf("entries = %d, want %d for two trees", entries, 4*(n-1))
+	}
+	if !Connected(links, allActive(n)) {
+		t.Fatal("double-MST backbone disconnected")
+	}
+}
+
+func TestMSTCanExceedBudget(t *testing.T) {
+	// A star-shaped cost function forces a hub: node 0 is near everyone,
+	// everyone else is far apart.
+	const n = 10
+	cost := func(i, j int) float64 {
+		if i == 0 || j == 0 {
+			return 1
+		}
+		return 100
+	}
+	links, err := Links(MST, n, allActive(n), cost, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDegree(links) <= 2 {
+		t.Fatalf("expected hub to exceed the k2=2 budget, max degree %d", MaxDegree(links))
+	}
+}
+
+func TestMSTRequiresCost(t *testing.T) {
+	if _, err := Links(MST, 5, allActive(5), nil, 2); err == nil {
+		t.Fatal("MST without cost function accepted")
+	}
+}
+
+func TestLinksValidation(t *testing.T) {
+	if _, err := Links(Cycles, 5, nil, nil, 0); err == nil {
+		t.Fatal("k2=0 accepted")
+	}
+	if _, err := Links(Kind(99), 5, nil, nil, 2); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestCyclesMaintenanceIsLocal checks the §3.3 claim for membership
+// events: re-forming the ring after one failure touches only the
+// failure's ring neighborhood — O(k2) link changes.
+func TestCyclesMaintenanceIsLocal(t *testing.T) {
+	const n = 40
+	before := allActive(n)
+	for victim := 0; victim < n; victim += 5 {
+		after := allActive(n)
+		after[victim] = false
+		c, err := MaintenanceCost(Cycles, n, before, after, nil, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > 4 {
+			t.Fatalf("victim %d: %d link changes, want <= 2*k2", victim, c)
+		}
+	}
+}
+
+// TestCyclesImmuneToWeightChangesUnlikeMST quantifies the other half of
+// the §3.3 argument: an MST "must always be updated ... due to changes in
+// edge weights over time", while the cycle construction is cost-oblivious
+// and never re-wires on weight changes.
+func TestCyclesImmuneToWeightChangesUnlikeMST(t *testing.T) {
+	const n = 40
+	active := allActive(n)
+	u1 := delayCost(t, n, 3)
+	// A perturbed view of the same network: different seed = the same
+	// geography class with re-drawn jitter and inflation.
+	u2 := delayCost(t, n, 4)
+
+	mstBefore, err := Links(MST, n, active, u1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstAfter, err := Links(MST, n, active, u2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstChanges := diffLinks(mstBefore, mstAfter)
+	if mstChanges == 0 {
+		t.Fatal("weight perturbation left the MST unchanged; test not probing anything")
+	}
+
+	cyclesBefore, err := Links(Cycles, n, active, u1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclesAfter, err := Links(Cycles, n, active, u2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffLinks(cyclesBefore, cyclesAfter) != 0 {
+		t.Fatal("cycle backbone changed on a pure weight change")
+	}
+}
+
+func diffLinks(a, b [][]int) int {
+	total := 0
+	for v := range a {
+		am := map[int]bool{}
+		for _, p := range a[v] {
+			am[p] = true
+		}
+		for _, p := range b[v] {
+			if !am[p] {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// Property: both backbones connect any alive subset of size >= 2.
+func TestBackbonesAlwaysConnectProperty(t *testing.T) {
+	cost := func(i, j int) float64 { return float64((i*7+j*13)%17 + 1) }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		active := make([]bool, n)
+		aliveCount := 0
+		for i := range active {
+			active[i] = rng.Float64() < 0.7
+			if active[i] {
+				aliveCount++
+			}
+		}
+		if aliveCount < 2 {
+			return true
+		}
+		for _, kind := range []Kind{Cycles, MST} {
+			links, err := Links(kind, n, active, cost, 2)
+			if err != nil {
+				return false
+			}
+			if !Connected(links, active) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

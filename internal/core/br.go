@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BROptions tunes the best-response solvers.
+type BROptions struct {
+	// MaxPasses bounds local-search improvement passes; 0 means a sensible
+	// default (enough for convergence at overlay scales).
+	MaxPasses int
+	// Exact forces exhaustive enumeration. Enumeration refuses instances
+	// with more than MaxCombinations subsets.
+	Exact bool
+	// MaxCombinations caps exact enumeration work; 0 means 5e6.
+	MaxCombinations int64
+}
+
+func (o BROptions) maxPasses() int {
+	if o.MaxPasses <= 0 {
+		return 16
+	}
+	return o.MaxPasses
+}
+
+func (o BROptions) maxCombinations() int64 {
+	if o.MaxCombinations <= 0 {
+		return 5_000_000
+	}
+	return o.MaxCombinations
+}
+
+// BestResponse computes a wiring of k facilities for the instance: the
+// exact optimum when opts.Exact is set (small instances only), otherwise
+// the greedy + single-swap local search EGOIST deploys (Sect. 3.2), which
+// matches the Arya et al. k-median local search the paper cites. It returns
+// the chosen set (sorted) and its objective value.
+func BestResponse(in *Instance, k int, opts BROptions) ([]int, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	cands := in.candidates()
+	if k < 0 {
+		return nil, 0, fmt.Errorf("core: negative k %d", k)
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k == 0 {
+		return nil, in.Eval(nil), nil
+	}
+	if opts.Exact {
+		return exactBR(in, k, cands, opts)
+	}
+	chosen := greedyBR(in, k, cands)
+	chosen, val := localSearch(in, chosen, cands, opts.maxPasses())
+	sort.Ints(chosen)
+	return chosen, val, nil
+}
+
+// greedyBR builds a k-set by repeatedly adding the facility with the best
+// marginal improvement — the standard k-median greedy warm start.
+func greedyBR(in *Instance, k int, cands []int) []int {
+	best := in.bestPerDest(nil)
+	dests := in.dests()
+	chosen := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(chosen) < k {
+		bestCand := -1
+		bestTotal := math.NaN()
+		for _, w := range cands {
+			if used[w] {
+				continue
+			}
+			acc := newAccum(in.Kind, in.Agg)
+			dw := in.Direct[w]
+			row := in.Resid[w]
+			for _, j := range dests {
+				c := best[j]
+				if alt := in.Kind.combine(dw, row[j]); in.Kind.better(alt, c) {
+					c = alt
+				}
+				acc.add(in.pref(j), in.Kind.finalize(c))
+			}
+			total := acc.value()
+			if bestCand == -1 || in.Kind.better(total, bestTotal) {
+				bestCand, bestTotal = w, total
+			}
+		}
+		if bestCand == -1 {
+			break
+		}
+		chosen = append(chosen, bestCand)
+		used[bestCand] = true
+		in.foldFacilities(best, []int{bestCand})
+	}
+	return chosen
+}
+
+// localSearch improves a wiring with single swaps (drop one chosen
+// facility, add one unchosen candidate) until no swap improves the
+// objective or maxPasses passes elapse. It returns the improved set and
+// its value.
+//
+// Swap evaluation is incremental: per destination the best and second-best
+// facility values are cached, so evaluating one swap costs O(|dests|)
+// instead of O(k·|dests|). This is what keeps epoch-level simulation of a
+// 50-node overlay over hundreds of epochs cheap.
+func localSearch(in *Instance, chosen, cands []int, maxPasses int) ([]int, float64) {
+	cur := append([]int(nil), chosen...)
+	inSet := make(map[int]bool, len(cur))
+	for _, w := range cur {
+		inSet[w] = true
+	}
+	dests := in.dests()
+	st := newSwapState(in, dests)
+	st.rebuild(cur)
+	curVal := st.total()
+
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for si := range cur {
+			old := cur[si]
+			bestC := -1
+			bestVal := curVal
+			for _, c := range cands {
+				if inSet[c] {
+					continue
+				}
+				if v := st.swapValue(old, c); in.Kind.better(v, bestVal) {
+					bestVal, bestC = v, c
+				}
+			}
+			if bestC >= 0 {
+				cur[si] = bestC
+				delete(inSet, old)
+				inSet[bestC] = true
+				curVal = bestVal
+				st.rebuild(cur)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curVal
+}
+
+// swapState caches, for every destination, the best and second-best
+// facility of the current set, enabling O(|dests|) single-swap evaluation.
+type swapState struct {
+	in    *Instance
+	dests []int
+	// Per destination (indexed positionally like dests):
+	best1W           []int
+	best1Val, best2V []float64
+	fixedCache       [][2]float64 // best/second-best over Fixed only
+}
+
+func newSwapState(in *Instance, dests []int) *swapState {
+	return &swapState{
+		in:       in,
+		dests:    dests,
+		best1W:   make([]int, len(dests)),
+		best1Val: make([]float64, len(dests)),
+		best2V:   make([]float64, len(dests)),
+	}
+}
+
+// rebuild recomputes the caches for the facility set cur ∪ Fixed.
+func (st *swapState) rebuild(cur []int) {
+	in := st.in
+	for di := range st.dests {
+		st.best1W[di] = -1
+		st.best1Val[di] = in.Kind.worst()
+		st.best2V[di] = in.Kind.worst()
+	}
+	fold := func(w int, removable bool) {
+		dw := in.Direct[w]
+		row := in.Resid[w]
+		for di, j := range st.dests {
+			c := in.Kind.combine(dw, row[j])
+			if in.Kind.better(c, st.best1Val[di]) {
+				st.best2V[di] = st.best1Val[di]
+				st.best1Val[di] = c
+				if removable {
+					st.best1W[di] = w
+				} else {
+					st.best1W[di] = -1 // fixed facilities are never swapped out
+				}
+			} else if in.Kind.better(c, st.best2V[di]) {
+				st.best2V[di] = c
+			}
+		}
+	}
+	for _, w := range in.Fixed {
+		fold(w, false)
+	}
+	for _, w := range cur {
+		fold(w, true)
+	}
+}
+
+// total returns the objective of the current set.
+func (st *swapState) total() float64 {
+	in := st.in
+	acc := newAccum(in.Kind, in.Agg)
+	for di, j := range st.dests {
+		acc.add(in.pref(j), in.Kind.finalize(st.best1Val[di]))
+	}
+	return acc.value()
+}
+
+// swapValue returns the objective after removing facility out and adding
+// facility c, without mutating the caches.
+func (st *swapState) swapValue(out, c int) float64 {
+	in := st.in
+	dc := in.Direct[c]
+	rowC := in.Resid[c]
+	acc := newAccum(in.Kind, in.Agg)
+	for di, j := range st.dests {
+		v := st.best1Val[di]
+		if st.best1W[di] == out {
+			v = st.best2V[di]
+		}
+		if cv := in.Kind.combine(dc, rowC[j]); in.Kind.better(cv, v) {
+			v = cv
+		}
+		acc.add(in.pref(j), in.Kind.finalize(v))
+	}
+	return acc.value()
+}
+
+// exactBR enumerates all k-subsets of the candidates.
+func exactBR(in *Instance, k int, cands []int, opts BROptions) ([]int, float64, error) {
+	if c := combinations(len(cands), k); c < 0 || c > opts.maxCombinations() {
+		return nil, 0, fmt.Errorf("core: exact BR over %d candidates choose %d exceeds limit", len(cands), k)
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	var bestSet []int
+	bestVal := math.NaN()
+	subset := make([]int, k)
+	for {
+		for i, ix := range idx {
+			subset[i] = cands[ix]
+		}
+		if v := in.Eval(subset); bestSet == nil || in.Kind.better(v, bestVal) {
+			bestVal = v
+			bestSet = append(bestSet[:0], subset...)
+		}
+		// Advance the combination indices.
+		i := k - 1
+		for i >= 0 && idx[i] == len(cands)-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet, bestVal, nil
+}
+
+// combinations returns C(n,k), or -1 on overflow.
+func combinations(n, k int) int64 {
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := int64(1)
+	for i := 1; i <= k; i++ {
+		c = c * int64(n-k+i) / int64(i)
+		if c < 0 || c > (1<<62)/int64(n+1) {
+			return -1
+		}
+	}
+	return c
+}
+
+// ShouldRewire implements BR(ε) (Sect. 4.3): re-wiring happens only when
+// the newly computed wiring improves on the current one by more than
+// epsilon (a fraction of the current cost). With epsilon 0 any strict
+// improvement triggers a re-wire.
+func ShouldRewire(kind CostKind, curVal, newVal, epsilon float64) bool {
+	if !kind.better(newVal, curVal) {
+		return false
+	}
+	if epsilon <= 0 {
+		return newVal != curVal
+	}
+	if kind == Bottleneck {
+		return newVal > curVal*(1+epsilon)
+	}
+	return newVal < curVal*(1-epsilon)
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// checkFigure validates basic shape invariants every figure must satisfy.
+func checkFigure(t *testing.T, fig *Figure) {
+	t.Helper()
+	if fig.ID == "" || fig.Title == "" {
+		t.Fatalf("figure missing id/title: %+v", fig)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatalf("figure %s has no series", fig.ID)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(s.Y) {
+			t.Fatalf("figure %s series %q: |X|=%d |Y|=%d", fig.ID, s.Label, len(s.X), len(s.Y))
+		}
+		if len(s.Y) == 0 {
+			t.Fatalf("figure %s series %q empty", fig.ID, s.Label)
+		}
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				t.Fatalf("figure %s series %q y[%d] = %v", fig.ID, s.Label, i, y)
+			}
+		}
+	}
+}
+
+func series(fig *Figure, label string) *Series {
+	for i := range fig.Series {
+		if fig.Series[i].Label == label {
+			return &fig.Series[i]
+		}
+	}
+	return nil
+}
+
+func TestFig1aShape(t *testing.T) {
+	fig, err := Fig1a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	// Heuristics should cost >= BR (ratios >= ~1).
+	for _, label := range []string{"k-Random", "k-Regular", "k-Closest"} {
+		s := series(fig, label)
+		if s == nil {
+			t.Fatalf("missing series %s", label)
+		}
+		for i, y := range s.Y {
+			if y < 0.95 {
+				t.Errorf("%s ratio[%d] = %.3f; BR should win on delay", label, i, y)
+			}
+		}
+	}
+	// Full mesh should be at or below BR (ratio <= ~1).
+	mesh := series(fig, "Full mesh")
+	if mesh == nil {
+		t.Fatal("missing full mesh series")
+	}
+	for i, y := range mesh.Y {
+		if y > 1.1 {
+			t.Errorf("full mesh ratio[%d] = %.3f; should lower-bound BR", i, y)
+		}
+	}
+}
+
+func TestFig1dBandwidthRatiosAtMostOne(t *testing.T) {
+	fig, err := Fig1d(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y > 1.05 {
+				t.Errorf("%s bandwidth ratio[%d] = %.3f > 1; BR should have most bandwidth", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	fig, err := Fig2a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	if series(fig, "HybridBR") == nil {
+		t.Fatal("missing HybridBR series")
+	}
+	if !strings.Contains(fig.Notes, "churn rate") {
+		t.Fatalf("notes missing churn rate: %q", fig.Notes)
+	}
+}
+
+func TestFig3aRewiringsDecay(t *testing.T) {
+	fig, err := Fig3a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	for _, s := range fig.Series {
+		n := len(s.Y)
+		early, late := 0.0, 0.0
+		for _, v := range s.Y[:n/4] {
+			early += v
+		}
+		for _, v := range s.Y[n-n/4:] {
+			late += v
+		}
+		if late > early {
+			t.Errorf("%s: re-wirings grew over time (early %.0f late %.0f)", s.Label, early, late)
+		}
+	}
+}
+
+func TestFig3cEpsilonCutsRewirings(t *testing.T) {
+	plain, err := Fig3b(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := Fig3c(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, plain)
+	checkFigure(t, eps)
+	sum := func(f *Figure, label string) float64 {
+		s := series(f, label)
+		total := 0.0
+		for _, y := range s.Y {
+			total += y
+		}
+		return total
+	}
+	if sum(eps, "BR(0.1) re-wirings (steady)") > sum(plain, "BR re-wirings (steady)")+1e-9 {
+		t.Error("BR(0.1) did not reduce steady-state re-wirings")
+	}
+}
+
+func TestFig4RatiosNearOne(t *testing.T) {
+	for _, f := range []func(Scale) (*Figure, error){Fig4a, Fig4b} {
+		fig, err := f(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFigure(t, fig)
+		for _, s := range fig.Series {
+			for i, y := range s.Y {
+				if y < 0.5 || y > 1.5 {
+					t.Errorf("fig %s %s ratio[%d] = %.2f; cheating impact should be bounded",
+						fig.ID, s.Label, i, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5SamplingShape(t *testing.T) {
+	fig, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	br := series(fig, "BR")
+	brtp := series(fig, "BRtp")
+	krand := series(fig, "k-Random")
+	if br == nil || brtp == nil || krand == nil {
+		t.Fatal("missing series")
+	}
+	// Averaged over reps, sampled BR should beat sampled k-Random.
+	avg := func(s *Series) float64 {
+		t := 0.0
+		for _, y := range s.Y {
+			t += y
+		}
+		return t / float64(len(s.Y))
+	}
+	if avg(br) >= avg(krand) {
+		t.Errorf("sampled BR mean %.3f not below k-Random %.3f", avg(br), avg(krand))
+	}
+	// All ratios >= ~1 (cannot beat BR-no-sampling).
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0.98 {
+				t.Errorf("%s ratio[%d] = %.3f below 1", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestFig10GainsGrowWithK(t *testing.T) {
+	fig, err := Fig10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	par := series(fig, "source establ. parallel connections")
+	mf := series(fig, "peers allow multipath redirections")
+	if par == nil || mf == nil {
+		t.Fatal("missing series")
+	}
+	for i := range par.Y {
+		if par.Y[i] < 1 {
+			t.Errorf("parallel gain[%d] = %.2f < 1", i, par.Y[i])
+		}
+		if mf.Y[i] < par.Y[i]-1e-9 {
+			t.Errorf("redirection gain[%d] = %.2f below parallel %.2f", i, mf.Y[i], par.Y[i])
+		}
+	}
+	if par.Y[len(par.Y)-1] < par.Y[0] {
+		t.Error("parallel gain should not shrink with k")
+	}
+}
+
+func TestFig11DisjointPathsGrowWithK(t *testing.T) {
+	fig, err := Fig11(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	ys := fig.Series[0].Y
+	if ys[len(ys)-1] <= ys[0] {
+		t.Errorf("disjoint paths did not grow with k: %v", ys)
+	}
+}
+
+func TestOverheadAnalyticVsMeasured(t *testing.T) {
+	fig, err := Overhead(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	get := func(label string) float64 {
+		s := series(fig, label)
+		if s == nil {
+			t.Fatalf("missing %s", label)
+		}
+		return s.Y[0]
+	}
+	pa, pm := get("ping (analytic)"), get("ping (measured)")
+	if pm <= 0 || pa <= 0 {
+		t.Fatalf("ping overheads: analytic %v measured %v", pa, pm)
+	}
+	// Measured includes probing of established links too, so it is the
+	// same order of magnitude but not identical.
+	if pm > pa*10 || pm < pa/10 {
+		t.Errorf("ping measured %v far from analytic %v", pm, pa)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"1a", "1b", "1c", "1d", "2a", "2b", "3a", "3b", "3c", "4a", "4b", "5", "5brite", "6", "7", "8", "10", "11", "overhead", "streaming"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d figures, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, w := range want {
+		if Registry[w] == nil {
+			t.Fatalf("registry missing %s", w)
+		}
+	}
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "test", XLabel: "k",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{1.5, 2.5}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{3, 4}},
+		},
+		Notes: "hello",
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure t", "hello", "a", "b", "1.5", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDownsamples(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i], ys[i] = float64(i), float64(i)
+	}
+	fig := &Figure{ID: "big", Title: "big", XLabel: "t",
+		Series: []Series{{Label: "v", X: xs, Y: ys}}}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines > 20 {
+		t.Fatalf("rendered %d lines; want downsampled to ~12", lines)
+	}
+}
+
+func TestStreamingExtensionShape(t *testing.T) {
+	fig, err := Streaming(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	for _, s := range fig.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s: in-time delivery fell with more copies: %v", s.Label, s.Y)
+		}
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("%s: fraction out of range at %d: %v", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestFig5BRITEShape(t *testing.T) {
+	fig, err := Fig5BRITE(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig)
+	if series(fig, "BRtp") == nil {
+		t.Fatal("missing BRtp series")
+	}
+}

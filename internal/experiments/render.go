@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a figure as an aligned text table: one row per X value,
+// one column per series. Time-series figures (many X values) are
+// downsampled to at most maxRows rows.
+func Render(w io.Writer, fig *Figure, maxRows int) error {
+	if maxRows <= 0 {
+		maxRows = 30
+	}
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if fig.Notes != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)\n", fig.Notes); err != nil {
+			return err
+		}
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "  <no data>")
+		return err
+	}
+
+	// Collect the union of X values in first-series order (all series share
+	// X in practice; Overhead-style figures have scalar series).
+	xs := fig.Series[0].X
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	step := 1
+	if len(xs) > maxRows {
+		step = (len(xs) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(xs); i += step {
+		row := []string{trimFloat(xs[i])}
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		b.WriteString("  ")
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func testFigure() *Figure {
+	return &Figure{
+		ID: "t", Title: "test & <figure>", XLabel: "k", YLabel: "ratio",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2, 3}, Y: []float64{1.5, 2.5, 2.0}},
+			{Label: "b \"quoted\"", X: []float64{1, 2, 3}, Y: []float64{3, 4, 5}},
+		},
+		Notes: "notes",
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, testFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("not an svg: %.60s", out)
+	}
+	// Must be well-formed XML despite special characters in labels.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "Figure t", "&amp;", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestRenderSVGEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, &Figure{ID: "e", Title: "empty"}); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+}
+
+func TestRenderSVGDegenerateRanges(t *testing.T) {
+	fig := &Figure{
+		ID: "d", Title: "flat",
+		Series: []Series{{Label: "c", X: []float64{5, 5}, Y: []float64{2, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := RenderSVG(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN coordinates in degenerate-range svg")
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Dijkstra computes single-source shortest additive path distances from src.
+// dist[v] is math.Inf(1) if v is unreachable. parent[v] is the predecessor
+// of v on a shortest path (-1 for src and unreachable nodes). Edge weights
+// must be non-negative.
+func Dijkstra(g *Digraph, src NodeID) (dist []float64, parent []NodeID) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{items: []heapItem{{node: src, key: 0}}, better: func(a, b float64) bool { return a < b }}
+	done := make([]bool, n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range g.Out(u) {
+			if nd := dist[u] + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				heap.Push(pq, heapItem{node: a.To, key: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Widest computes single-source widest-path (maximum bottleneck) values
+// from src: width[v] is the maximum over all src->v paths of the minimum
+// edge weight along the path. This is the "Maximum Bottleneck Bandwidth"
+// problem of Sect. 4.1 of the paper, solved with the standard modification
+// of Dijkstra. width[src] is math.Inf(1) (no bottleneck to oneself);
+// unreachable nodes have width 0.
+func Widest(g *Digraph, src NodeID) (width []float64, parent []NodeID) {
+	n := g.N()
+	width = make([]float64, n)
+	parent = make([]NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	width[src] = Inf
+	pq := &nodeHeap{items: []heapItem{{node: src, key: Inf}}, better: func(a, b float64) bool { return a > b }}
+	done := make([]bool, n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, a := range g.Out(u) {
+			if nw := math.Min(width[u], a.W); nw > width[a.To] {
+				width[a.To] = nw
+				parent[a.To] = u
+				heap.Push(pq, heapItem{node: a.To, key: nw})
+			}
+		}
+	}
+	return width, parent
+}
+
+// APSP computes all-pairs shortest additive distances by running Dijkstra
+// from every source. The result is indexed [src][dst].
+func APSP(g *Digraph) [][]float64 {
+	n := g.N()
+	d := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		d[u], _ = Dijkstra(g, u)
+	}
+	return d
+}
+
+// APWidest computes all-pairs widest-path values.
+func APWidest(g *Digraph) [][]float64 {
+	n := g.N()
+	w := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		w[u], _ = Widest(g, u)
+	}
+	return w
+}
+
+// PathTo reconstructs the path from the source used to build parent up to
+// dst, inclusive of both endpoints. It returns nil if dst was unreachable.
+func PathTo(parent []NodeID, src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	if parent[dst] == -1 {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// heapItem is a priority-queue entry for Dijkstra variants.
+type heapItem struct {
+	node NodeID
+	key  float64
+}
+
+// nodeHeap is a priority queue ordered by the better function
+// (min-heap for shortest paths, max-heap for widest paths).
+type nodeHeap struct {
+	items  []heapItem
+	better func(a, b float64) bool
+}
+
+func (h *nodeHeap) Len() int           { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool { return h.better(h.items[i].key, h.items[j].key) }
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,77 @@
+package linkstate
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TypeData is an application payload routed hop-by-hop over the overlay.
+const TypeData = 6
+
+// Data is an overlay-routed application message. Src and Dst are overlay
+// node ids; Via, when not NoVia, forces the first overlay hop (the
+// redirection primitive the multipath application of Sect. 6.1 uses); TTL
+// bounds forwarding; Seq disambiguates messages for the application.
+type Data struct {
+	Src, Dst uint16
+	Via      uint16
+	TTL      uint8
+	Seq      uint64
+	Payload  []byte
+}
+
+// NoVia disables first-hop redirection.
+const NoVia = ^uint16(0)
+
+// dataHeaderBytes is the Data wire header size.
+const dataHeaderBytes = 24
+
+// MaxPayload bounds the payload size of one overlay datagram.
+const MaxPayload = 32 * 1024
+
+// Marshal encodes the message.
+func (d *Data) Marshal() ([]byte, error) {
+	if len(d.Payload) > MaxPayload {
+		return nil, fmt.Errorf("linkstate: payload %d exceeds %d", len(d.Payload), MaxPayload)
+	}
+	buf := make([]byte, dataHeaderBytes+len(d.Payload))
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = 1
+	buf[3] = TypeData
+	binary.BigEndian.PutUint16(buf[4:], d.Src)
+	binary.BigEndian.PutUint16(buf[6:], d.Dst)
+	binary.BigEndian.PutUint16(buf[8:], d.Via)
+	buf[10] = d.TTL
+	binary.BigEndian.PutUint64(buf[12:], d.Seq)
+	binary.BigEndian.PutUint32(buf[20:], uint32(len(d.Payload)))
+	copy(buf[dataHeaderBytes:], d.Payload)
+	return buf, nil
+}
+
+// UnmarshalData decodes a Data message.
+func UnmarshalData(data []byte) (*Data, error) {
+	if len(data) < dataHeaderBytes {
+		return nil, fmt.Errorf("linkstate: short data message (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:]) != magic || data[2] != 1 {
+		return nil, fmt.Errorf("linkstate: bad magic/version")
+	}
+	if data[3] != TypeData {
+		return nil, fmt.Errorf("linkstate: not a data message (type %d)", data[3])
+	}
+	plen := int(binary.BigEndian.Uint32(data[20:]))
+	if len(data) != dataHeaderBytes+plen {
+		return nil, fmt.Errorf("linkstate: data length %d, want %d", len(data), dataHeaderBytes+plen)
+	}
+	d := &Data{
+		Src: binary.BigEndian.Uint16(data[4:]),
+		Dst: binary.BigEndian.Uint16(data[6:]),
+		Via: binary.BigEndian.Uint16(data[8:]),
+		TTL: data[10],
+		Seq: binary.BigEndian.Uint64(data[12:]),
+	}
+	if plen > 0 {
+		d.Payload = append([]byte(nil), data[dataHeaderBytes:]...)
+	}
+	return d, nil
+}

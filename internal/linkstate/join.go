@@ -1,0 +1,65 @@
+package linkstate
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bootstrap message types (Sect. 3.1: a newcomer queries a bootstrap node
+// and receives a list of potential overlay neighbors).
+const (
+	// TypeJoin asks a bootstrap node for the current membership.
+	TypeJoin = 7
+	// TypeJoinReply carries the bootstrap node's known member list.
+	TypeJoinReply = 8
+)
+
+// JoinReply is a bootstrap response listing known overlay members.
+type JoinReply struct {
+	From    uint16
+	Members []uint16
+}
+
+// maxJoinMembers bounds the member list in one reply datagram.
+const maxJoinMembers = 1024
+
+// MarshalJoin encodes a join request from the given node.
+func MarshalJoin(from uint16) []byte {
+	return (&Control{Type: TypeJoin, From: from}).Marshal()
+}
+
+// Marshal encodes the reply.
+func (r *JoinReply) Marshal() ([]byte, error) {
+	if len(r.Members) > maxJoinMembers {
+		return nil, fmt.Errorf("linkstate: %d members exceeds %d", len(r.Members), maxJoinMembers)
+	}
+	buf := make([]byte, 8+2*len(r.Members))
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = 1
+	buf[3] = TypeJoinReply
+	binary.BigEndian.PutUint16(buf[4:], r.From)
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(r.Members)))
+	for i, m := range r.Members {
+		binary.BigEndian.PutUint16(buf[8+2*i:], m)
+	}
+	return buf, nil
+}
+
+// UnmarshalJoinReply decodes a bootstrap reply.
+func UnmarshalJoinReply(data []byte) (*JoinReply, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("linkstate: short join reply")
+	}
+	if binary.BigEndian.Uint16(data[0:]) != magic || data[2] != 1 || data[3] != TypeJoinReply {
+		return nil, fmt.Errorf("linkstate: not a join reply")
+	}
+	count := int(binary.BigEndian.Uint16(data[6:]))
+	if len(data) != 8+2*count {
+		return nil, fmt.Errorf("linkstate: join reply length %d, want %d", len(data), 8+2*count)
+	}
+	r := &JoinReply{From: binary.BigEndian.Uint16(data[4:])}
+	for i := 0; i < count; i++ {
+		r.Members = append(r.Members, binary.BigEndian.Uint16(data[8+2*i:]))
+	}
+	return r, nil
+}

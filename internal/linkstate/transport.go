@@ -1,0 +1,240 @@
+package linkstate
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Packet is a datagram received from a peer overlay node.
+type Packet struct {
+	From int // sender node id, -1 if unknown
+	Data []byte
+}
+
+// Transport moves datagrams between overlay nodes addressed by node id.
+// Implementations must be safe for concurrent use.
+type Transport interface {
+	// Send delivers a datagram to node `to` (best-effort, like UDP).
+	Send(to int, data []byte) error
+	// Recv returns the channel of inbound packets. The channel closes when
+	// the transport is closed.
+	Recv() <-chan Packet
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}
+
+// Bus is an in-memory datagram network connecting n transports, used by
+// tests and the in-process demo deployment. It can drop packets and delay
+// delivery to model lossy links.
+type Bus struct {
+	mu     sync.Mutex
+	eps    []*busEndpoint
+	drop   func(from, to int) bool
+	delay  func(from, to int) time.Duration
+	closed bool
+}
+
+// NewBus creates an in-memory network with n endpoints.
+func NewBus(n int) *Bus {
+	b := &Bus{eps: make([]*busEndpoint, n)}
+	for i := range b.eps {
+		b.eps[i] = &busEndpoint{bus: b, id: i, ch: make(chan Packet, 1024)}
+	}
+	return b
+}
+
+// SetLoss installs a packet-drop predicate (nil disables loss).
+func (b *Bus) SetLoss(drop func(from, to int) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drop = drop
+}
+
+// SetDelay installs a per-pair delivery delay function (nil means
+// immediate delivery).
+func (b *Bus) SetDelay(delay func(from, to int) time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.delay = delay
+}
+
+// Endpoint returns the transport for node id.
+func (b *Bus) Endpoint(id int) Transport { return b.eps[id] }
+
+// Close shuts down every endpoint.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ep := range b.eps {
+		ep.close()
+	}
+}
+
+type busEndpoint struct {
+	bus    *Bus
+	id     int
+	mu     sync.Mutex
+	ch     chan Packet
+	closed bool
+}
+
+func (e *busEndpoint) Send(to int, data []byte) error {
+	b := e.bus
+	b.mu.Lock()
+	if b.closed || to < 0 || to >= len(b.eps) {
+		b.mu.Unlock()
+		return fmt.Errorf("linkstate: bad destination %d", to)
+	}
+	if b.drop != nil && b.drop(e.id, to) {
+		b.mu.Unlock()
+		return nil // silently dropped, like the real network
+	}
+	dst := b.eps[to]
+	var d time.Duration
+	if b.delay != nil {
+		d = b.delay(e.id, to)
+	}
+	b.mu.Unlock()
+
+	cp := append([]byte(nil), data...)
+	deliver := func() {
+		dst.mu.Lock()
+		defer dst.mu.Unlock()
+		if dst.closed {
+			return
+		}
+		select {
+		case dst.ch <- Packet{From: e.id, Data: cp}:
+		default: // receiver queue full: drop, like UDP
+		}
+	}
+	if d > 0 {
+		time.AfterFunc(d, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+func (e *busEndpoint) Recv() <-chan Packet { return e.ch }
+
+func (e *busEndpoint) Close() error {
+	e.bus.mu.Lock()
+	defer e.bus.mu.Unlock()
+	e.close()
+	return nil
+}
+
+func (e *busEndpoint) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.ch)
+	}
+}
+
+// UDPTransport sends overlay datagrams over real UDP sockets. The address
+// book maps node ids to UDP addresses; it can be updated as membership
+// changes.
+type UDPTransport struct {
+	conn *net.UDPConn
+	mu   sync.RWMutex
+	book map[int]*net.UDPAddr
+	rev  map[string]int
+	ch   chan Packet
+	done chan struct{}
+	once sync.Once
+}
+
+// NewUDPTransport binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// starts its receive loop.
+func NewUDPTransport(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("linkstate: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("linkstate: listen %q: %w", addr, err)
+	}
+	t := &UDPTransport{
+		conn: conn,
+		book: make(map[int]*net.UDPAddr),
+		rev:  make(map[string]int),
+		ch:   make(chan Packet, 1024),
+		done: make(chan struct{}),
+	}
+	go t.recvLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound UDP address.
+func (t *UDPTransport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// Register maps a node id to its UDP address.
+func (t *UDPTransport) Register(id int, addr *net.UDPAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.book[id] = addr
+	t.rev[addr.String()] = id
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(to int, data []byte) error {
+	t.mu.RLock()
+	addr, ok := t.book[to]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("linkstate: no address for node %d", to)
+	}
+	_, err := t.conn.WriteToUDP(data, addr)
+	return err
+}
+
+// Recv implements Transport.
+func (t *UDPTransport) Recv() <-chan Packet { return t.ch }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	var err error
+	t.once.Do(func() {
+		close(t.done)
+		err = t.conn.Close()
+	})
+	return err
+}
+
+func (t *UDPTransport) recvLoop() {
+	defer close(t.ch)
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				// Transient error on a live socket: keep reading.
+				continue
+			}
+		}
+		t.mu.RLock()
+		from, ok := t.rev[raddr.String()]
+		t.mu.RUnlock()
+		if !ok {
+			from = -1
+		}
+		pkt := Packet{From: from, Data: append([]byte(nil), buf[:n]...)}
+		select {
+		case t.ch <- pkt:
+		default: // receiver falling behind: drop
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"egoist/internal/core"
+	"egoist/internal/graph"
+)
+
+func ring(n int, w float64) *graph.Digraph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddArc(v, (v+1)%n, w)
+	}
+	return g
+}
+
+func TestNodeCostsRing(t *testing.T) {
+	// Directed 4-ring with weight 1: costs per node = 1+2+3 = 6.
+	costs := NodeCosts(ring(4, 1), core.Additive, nil)
+	for i, c := range costs {
+		if c != 6 {
+			t.Fatalf("cost[%d] = %v, want 6", i, c)
+		}
+	}
+}
+
+func TestNodeCostsDisconnectedPenalty(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 0, 1)
+	costs := NodeCosts(g, core.Additive, nil)
+	if costs[0] != 1+core.DisconnectedPenalty {
+		t.Fatalf("cost[0] = %v, want 1+penalty", costs[0])
+	}
+}
+
+func TestNodeCostsBottleneck(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, 3)
+	vals := NodeCosts(g, core.Bottleneck, nil)
+	if vals[0] != 5+3 {
+		t.Fatalf("bw value[0] = %v, want 8", vals[0])
+	}
+	// Node 2 reaches nobody: 0.
+	if vals[2] != 0 {
+		t.Fatalf("bw value[2] = %v, want 0", vals[2])
+	}
+}
+
+func TestNodeCostsActiveMask(t *testing.T) {
+	g := ring(4, 1)
+	active := []bool{true, true, true, false}
+	costs := NodeCosts(g, core.Additive, active)
+	if !math.IsNaN(costs[3]) {
+		t.Fatal("dead node should have NaN cost")
+	}
+	// Ring broken by node 3's death: node 2 can't reach 0 or 1.
+	if costs[2] != 2*core.DisconnectedPenalty {
+		t.Fatalf("cost[2] = %v, want 2 penalties", costs[2])
+	}
+}
+
+func TestEfficiencyRing(t *testing.T) {
+	eff := Efficiency(ring(4, 2), nil)
+	// Per node: (1/2 + 1/4 + 1/6) / 3.
+	want := (0.5 + 0.25 + 1.0/6.0) / 3
+	for i, e := range eff {
+		if math.Abs(e-want) > 1e-12 {
+			t.Fatalf("eff[%d] = %v, want %v", i, e, want)
+		}
+	}
+}
+
+func TestEfficiencyDisconnectedIsLower(t *testing.T) {
+	g := graph.New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 0, 1)
+	g.AddArc(2, 3, 1)
+	g.AddArc(3, 2, 1)
+	eff := Efficiency(g, nil)
+	full := Efficiency(ring(4, 1), nil)
+	if eff[0] >= full[0] {
+		t.Fatalf("partitioned efficiency %v not below connected %v", eff[0], full[0])
+	}
+}
+
+func TestEfficiencySingleAlive(t *testing.T) {
+	g := graph.New(3)
+	active := []bool{true, false, false}
+	eff := Efficiency(g, active)
+	if eff[0] != 0 {
+		t.Fatalf("lone node efficiency = %v, want 0", eff[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.N != 5 {
+		t.Fatalf("Summarize mean=%v n=%d", s.Mean, s.N)
+	}
+	if s.CI95 <= 0 || s.StdDev <= 0 {
+		t.Fatalf("CI/std not positive: %+v", s)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{2, math.NaN(), 4, math.Inf(1)})
+	if s.N != 2 || s.Mean != 3 {
+		t.Fatalf("Summarize = %+v, want n=2 mean=3", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %v, want 3", m)
+	}
+	if m := Median([]float64{math.NaN(), 2, 4}); m != 3 {
+		t.Fatalf("median with NaN = %v, want 3", m)
+	}
+	if m := Median(nil); !math.IsNaN(m) {
+		t.Fatalf("median empty = %v, want NaN", m)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(6, 3); r != 2 {
+		t.Fatalf("Ratio = %v", r)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("Ratio by zero should be NaN")
+	}
+}
+
+func TestRewireCounter(t *testing.T) {
+	var c RewireCounter
+	c.Record(0, 3)
+	c.Record(2, 1)
+	c.Record(2, 2)
+	got := c.PerEpoch()
+	want := []int{3, 0, 3}
+	if len(got) != len(want) {
+		t.Fatalf("PerEpoch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PerEpoch = %v, want %v", got, want)
+		}
+	}
+	if tail := c.Tail(0.3); tail != 3 { // last epoch only
+		t.Fatalf("Tail = %v, want 3", tail)
+	}
+}
+
+func TestRewireCounterEmptyTail(t *testing.T) {
+	var c RewireCounter
+	if c.Tail(0.5) != 0 {
+		t.Fatal("empty counter tail should be 0")
+	}
+}
+
+func TestLinkDiff(t *testing.T) {
+	if d := LinkDiff([]int{1, 2, 3}, []int{2, 3, 4}); d != 1 {
+		t.Fatalf("LinkDiff = %d, want 1", d)
+	}
+	if d := LinkDiff(nil, []int{1, 2}); d != 2 {
+		t.Fatalf("LinkDiff from nil = %d, want 2", d)
+	}
+	if d := LinkDiff([]int{1, 2}, []int{1, 2}); d != 0 {
+		t.Fatalf("LinkDiff identical = %d, want 0", d)
+	}
+}

@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"egoist/internal/core"
+	"egoist/internal/graph"
+)
+
+func TestWeightedNodeCostsUniformMatchesNodeCosts(t *testing.T) {
+	g := ring(5, 2)
+	plain := NodeCosts(g, core.Additive, nil)
+	weighted := WeightedNodeCosts(g, core.Additive, nil, func(i, j int) float64 { return 1 })
+	for i := range plain {
+		if plain[i] != weighted[i] {
+			t.Fatalf("node %d: %v != %v", i, plain[i], weighted[i])
+		}
+	}
+}
+
+func TestWeightedNodeCostsScalesByPreference(t *testing.T) {
+	g := ring(4, 1)
+	// Preference 2 for every destination doubles every cost.
+	doubled := WeightedNodeCosts(g, core.Additive, nil, func(i, j int) float64 { return 2 })
+	plain := NodeCosts(g, core.Additive, nil)
+	for i := range plain {
+		if math.Abs(doubled[i]-2*plain[i]) > 1e-12 {
+			t.Fatalf("node %d: %v != 2*%v", i, doubled[i], plain[i])
+		}
+	}
+}
+
+func TestWeightedNodeCostsSelectivePreference(t *testing.T) {
+	// Only care about destination 1: cost of node 0 is just d(0,1).
+	g := ring(4, 3)
+	pref := func(i, j int) float64 {
+		if j == 1 {
+			return 1
+		}
+		return 0
+	}
+	costs := WeightedNodeCosts(g, core.Additive, nil, pref)
+	if costs[0] != 3 {
+		t.Fatalf("cost[0] = %v, want 3 (one hop to node 1)", costs[0])
+	}
+}
+
+func TestWeightedNodeCostsBottleneck(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 1, 10)
+	g.AddArc(0, 2, 4)
+	pref := func(i, j int) float64 {
+		if j == 1 {
+			return 3
+		}
+		return 1
+	}
+	vals := WeightedNodeCosts(g, core.Bottleneck, nil, pref)
+	if vals[0] != 3*10+4 {
+		t.Fatalf("weighted bw value = %v, want 34", vals[0])
+	}
+}

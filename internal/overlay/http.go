@@ -1,0 +1,88 @@
+package overlay
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"egoist/internal/vis"
+)
+
+// Status is the JSON snapshot served by the node's HTTP endpoint — the
+// programmatic face of the live topology demonstration of Sect. 7.
+type Status struct {
+	ID        int             `json:"id"`
+	Neighbors []int           `json:"neighbors"`
+	Known     []int           `json:"known"`
+	Rewires   int             `json:"rewires"`
+	Epochs    int             `json:"epochs"`
+	Estimates map[int]float64 `json:"estimates_ms"`
+	Delivered int             `json:"data_delivered"`
+	Forwarded int             `json:"data_forwarded"`
+	Dropped   int             `json:"data_dropped"`
+}
+
+// CurrentStatus snapshots the node's state.
+func (n *Node) CurrentStatus() Status {
+	s := Status{
+		ID:        n.cfg.ID,
+		Neighbors: n.Neighbors(),
+		Known:     n.KnownNodes(),
+		Rewires:   n.Rewires(),
+		Epochs:    n.Epochs(),
+		Estimates: map[int]float64{},
+	}
+	s.Delivered, s.Forwarded, s.Dropped = n.DataStats()
+	for _, peer := range s.Known {
+		if est, ok := n.Estimate(peer); ok {
+			s.Estimates[peer] = est
+		}
+	}
+	return s
+}
+
+// ServeHTTP starts an HTTP status server on addr and returns the bound
+// listener address. Endpoints:
+//
+//	GET /status        node state as JSON
+//	GET /topology.svg  the node's current view of the overlay as SVG
+//
+// The server stops when the node's transport closes the listener via the
+// returned shutdown function.
+func (n *Node) ServeHTTP(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(n.CurrentStatus()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/topology.svg", func(w http.ResponseWriter, r *http.Request) {
+		g := n.Graph()
+		// Include this node's own links, which its DB view omits.
+		n.mu.Lock()
+		for _, nb := range n.neighbors {
+			cost := 1.0
+			if e, ok := n.est[nb]; ok {
+				cost = e.v
+			}
+			g.AddArc(n.cfg.ID, nb, cost)
+		}
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", "image/svg+xml")
+		if err := vis.Topology(w, g, vis.CirclePositions(g.N()), n.cfg.ID); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

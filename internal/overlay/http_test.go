@@ -1,0 +1,86 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"egoist/internal/core"
+)
+
+func TestHTTPStatusEndpoint(t *testing.T) {
+	nodes, bus, _ := startCluster(t, 5, 2, core.BRPolicy{}, Delayed)
+	defer bus.Close()
+	defer stopAll(nodes)
+
+	addr, shutdown, err := nodes[0].ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	waitFor(t, 10*time.Second, func() bool {
+		return len(nodes[0].KnownNodes()) >= 4
+	}, "node never converged")
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/status", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 0 || len(st.Known) < 4 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestHTTPTopologySVG(t *testing.T) {
+	nodes, bus, _ := startCluster(t, 5, 2, core.BRPolicy{}, Delayed)
+	defer bus.Close()
+	defer stopAll(nodes)
+
+	addr, shutdown, err := nodes[1].ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	waitFor(t, 10*time.Second, func() bool {
+		return len(nodes[1].KnownNodes()) >= 4
+	}, "node never converged")
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/topology.svg", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "<svg") {
+		t.Fatalf("not an svg: %.40s", body)
+	}
+}
+
+func TestHTTPBadAddr(t *testing.T) {
+	nodes, bus, _ := startCluster(t, 4, 2, core.BRPolicy{}, Delayed)
+	defer bus.Close()
+	defer stopAll(nodes)
+	if _, _, err := nodes[0].ServeHTTP("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"egoist/internal/core"
+	"egoist/internal/linkstate"
+	"egoist/internal/topology"
+)
+
+func TestJoinReplyCodec(t *testing.T) {
+	r := &linkstate.JoinReply{From: 3, Members: []uint16{0, 1, 2, 9}}
+	raw, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := linkstate.UnmarshalJoinReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 3 || len(got.Members) != 4 || got.Members[3] != 9 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := linkstate.UnmarshalJoinReply(raw[:len(raw)-1]); err == nil {
+		t.Fatal("truncated reply accepted")
+	}
+	if _, err := linkstate.UnmarshalJoinReply(nil); err == nil {
+		t.Fatal("nil reply accepted")
+	}
+}
+
+func TestJoinReplyMemberLimit(t *testing.T) {
+	r := &linkstate.JoinReply{Members: make([]uint16, 2000)}
+	if _, err := r.Marshal(); err == nil {
+		t.Fatal("oversized member list accepted")
+	}
+}
+
+// TestLateJoinerBootstrapsViaJoinProtocol starts a converged cluster, then
+// a latecomer that knows only one contact. The join reply must let it probe
+// and discover the whole membership.
+func TestLateJoinerBootstrapsViaJoinProtocol(t *testing.T) {
+	const n, k = 7, 2
+	bus := linkstate.NewBus(n)
+	defer bus.Close()
+	m := topology.RingLattice(n, 5)
+	mk := func(i int, boot []int) *Node {
+		node, err := Start(Config{
+			ID: i, N: n, K: k,
+			Policy:    core.BRPolicy{},
+			Transport: bus.Endpoint(i),
+			Epoch:     80 * time.Millisecond,
+			Announce:  25 * time.Millisecond,
+			Bootstrap: boot,
+			DelayOracle: func(from, to int) float64 {
+				return m[from][to]
+			},
+			Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n-1; i++ {
+		boot := []int{(i + n - 2) % (n - 1)}
+		nodes = append(nodes, mk(i, boot))
+	}
+	defer func() { stopAll(nodes) }()
+	waitFor(t, 10*time.Second, func() bool {
+		for _, node := range nodes {
+			if len(node.KnownNodes()) < n-2 {
+				return false
+			}
+		}
+		return true
+	}, "initial cluster never converged")
+
+	late := mk(n-1, []int{0}) // knows only node 0
+	nodes = append(nodes, late)
+
+	waitFor(t, 12*time.Second, func() bool {
+		return len(late.KnownNodes()) >= n-1
+	}, "late joiner never discovered full membership")
+
+	// And the rest must learn about the latecomer via its LSA flood.
+	waitFor(t, 12*time.Second, func() bool {
+		for _, node := range nodes[:n-1] {
+			found := false
+			for _, o := range node.KnownNodes() {
+				if o == n-1 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}, "existing nodes never learned of the late joiner")
+}

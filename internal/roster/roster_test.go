@@ -1,0 +1,69 @@
+package roster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	in := `# three nodes
+0 127.0.0.1:7000
+1 127.0.0.1:7001
+
+2 host.example:7002
+`
+	r, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[2] != "host.example:7002" {
+		t.Fatalf("parsed %v", r)
+	}
+	if r.MaxID() != 2 {
+		t.Fatalf("MaxID = %d", r.MaxID())
+	}
+	ids := r.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                // empty
+		"0 127.0.0.1:7000\n",              // single node
+		"x 127.0.0.1:7000\n0 a:1\n",       // bad id
+		"-1 127.0.0.1:7000\n0 a:1\n",      // negative id
+		"0 127.0.0.1:7000 extra\n1 a:1\n", // extra field
+		"0 noport\n1 a:1\n",               // missing port
+		"0 a:1\n0 b:2\n",                  // duplicate id
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "roster.txt")
+	if err := os.WriteFile(path, []byte("0 a:1\n1 b:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("loaded %v", r)
+	}
+	if _, err := Load(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Package sampling implements the scalability techniques of Sect. 5:
+// computing best responses on a sample of the residual graph instead of
+// the whole node set. It provides unbiased random sampling and the
+// topology-based biased sampling (BRtp) that ranks candidates by
+//
+//	b_ij = |F(v_j)| / Σ_{u ∈ F(v_j)} d(v_i, u)
+//
+// where F(v_j) is v_j's r-hop out-neighborhood: good candidates have large
+// neighborhoods whose members are close to the sampling node.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"egoist/internal/graph"
+)
+
+// Random draws m distinct candidates uniformly at random.
+// It returns all candidates when m >= len(candidates).
+func Random(rng *rand.Rand, candidates []int, m int) []int {
+	if m >= len(candidates) {
+		out := append([]int(nil), candidates...)
+		sort.Ints(out)
+		return out
+	}
+	idx := rng.Perm(len(candidates))[:m]
+	out := make([]int, 0, m)
+	for _, i := range idx {
+		out = append(out, candidates[i])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BiasedConfig parameterizes topology-based biased sampling.
+type BiasedConfig struct {
+	// M is the final sample size handed to the BR computation.
+	M int
+	// MPrime is the number of random pre-samples the topological filter
+	// ranks (m' > m). Zero defaults to 2·M.
+	MPrime int
+	// Radius is the neighborhood radius r. Zero defaults to 2, the value
+	// used in the paper's simulations.
+	Radius int
+}
+
+func (c BiasedConfig) mPrime() int {
+	if c.MPrime <= 0 {
+		return 2 * c.M
+	}
+	return c.MPrime
+}
+
+func (c BiasedConfig) radius() int {
+	if c.Radius <= 0 {
+		return 2
+	}
+	return c.Radius
+}
+
+// Biased draws cfg.MPrime random candidates and keeps the cfg.M with the
+// highest ranking b_ij computed over the residual graph g (which must not
+// contain the sampling node's own out-links). direct[u] is the sampling
+// node's measured or estimated distance to u, used for the Σ d(v_i, u)
+// denominator. Candidates with empty neighborhoods rank last.
+func Biased(rng *rand.Rand, g *graph.Digraph, candidates []int, direct []float64, cfg BiasedConfig) ([]int, error) {
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("sampling: non-positive sample size %d", cfg.M)
+	}
+	if len(direct) != g.N() {
+		return nil, fmt.Errorf("sampling: direct has %d entries, want %d", len(direct), g.N())
+	}
+	pre := Random(rng, candidates, cfg.mPrime())
+	type ranked struct {
+		node  int
+		score float64
+	}
+	rs := make([]ranked, 0, len(pre))
+	for _, j := range pre {
+		rs = append(rs, ranked{node: j, score: Rank(g, j, direct, cfg.radius())})
+	}
+	sort.SliceStable(rs, func(a, b int) bool { return rs[a].score > rs[b].score })
+	m := cfg.M
+	if m > len(rs) {
+		m = len(rs)
+	}
+	out := make([]int, 0, m)
+	for _, r := range rs[:m] {
+		out = append(out, r.node)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Rank computes the ranking function b_ij for candidate j: neighborhood
+// size divided by the total distance from the sampling node to the
+// neighborhood's members. A candidate with no reachable neighbors scores 0.
+func Rank(g *graph.Digraph, j int, direct []float64, radius int) float64 {
+	members := graph.Neighborhood(g, j, radius)
+	if len(members) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, u := range members {
+		sum += direct[u]
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(len(members)) / sum
+}

@@ -1,0 +1,147 @@
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"egoist/internal/graph"
+)
+
+func TestRandomSampleSizeAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := []int{2, 4, 6, 8, 10, 12}
+	s := Random(rng, cands, 3)
+	if len(s) != 3 {
+		t.Fatalf("sample size %d, want 3", len(s))
+	}
+	if !sort.IntsAreSorted(s) {
+		t.Fatalf("sample not sorted: %v", s)
+	}
+	in := map[int]bool{}
+	for _, c := range cands {
+		in[c] = true
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if !in[v] {
+			t.Fatalf("sample member %d not a candidate", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d in sample", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandomSampleWholeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cands := []int{5, 3, 1}
+	s := Random(rng, cands, 10)
+	if len(s) != 3 {
+		t.Fatalf("want all 3 candidates, got %v", s)
+	}
+}
+
+func TestRankPrefersBigCloseNeighborhoods(t *testing.T) {
+	// Node 1 has a big neighborhood of cheap nodes; node 2 a tiny one.
+	g := graph.New(6)
+	g.AddArc(1, 3, 1)
+	g.AddArc(1, 4, 1)
+	g.AddArc(1, 5, 1)
+	g.AddArc(2, 3, 1)
+	direct := []float64{0, 5, 5, 3, 2, 2}
+	r1 := Rank(g, 1, direct, 2)
+	r2 := Rank(g, 2, direct, 2)
+	if r1 <= r2 {
+		t.Fatalf("rank(1)=%v <= rank(2)=%v; bigger close neighborhood should win", r1, r2)
+	}
+}
+
+func TestRankEmptyNeighborhood(t *testing.T) {
+	g := graph.New(3)
+	if r := Rank(g, 1, []float64{0, 1, 1}, 2); r != 0 {
+		t.Fatalf("rank of isolated node = %v, want 0", r)
+	}
+}
+
+func TestBiasedValidation(t *testing.T) {
+	g := graph.New(4)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Biased(rng, g, []int{1, 2}, []float64{0, 1, 1, 1}, BiasedConfig{M: 0}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := Biased(rng, g, []int{1, 2}, []float64{0, 1}, BiasedConfig{M: 1}); err == nil {
+		t.Fatal("short direct vector accepted")
+	}
+}
+
+func TestBiasedKeepsTopRanked(t *testing.T) {
+	// Hub node 1 reaches many; leaf nodes reach nothing. Biased sampling
+	// with m=1 must pick the hub (with MPrime covering all candidates).
+	n := 10
+	g := graph.New(n)
+	for v := 2; v < n; v++ {
+		g.AddArc(1, v, 1)
+	}
+	direct := make([]float64, n)
+	for v := 1; v < n; v++ {
+		direct[v] = 1
+	}
+	cands := make([]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		cands = append(cands, v)
+	}
+	rng := rand.New(rand.NewSource(4))
+	s, err := Biased(rng, g, cands, direct, BiasedConfig{M: 1, MPrime: n - 1, Radius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("biased sample = %v, want the hub [1]", s)
+	}
+}
+
+// Property: biased samples are well-formed subsets of the candidates.
+func TestBiasedWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.2 {
+					g.AddArc(u, v, 1+rng.Float64()*5)
+				}
+			}
+		}
+		direct := make([]float64, n)
+		for v := 1; v < n; v++ {
+			direct[v] = 0.1 + rng.Float64()*5
+		}
+		cands := make([]int, 0, n-1)
+		for v := 1; v < n; v++ {
+			cands = append(cands, v)
+		}
+		m := 1 + rng.Intn(len(cands))
+		s, err := Biased(rng, g, cands, direct, BiasedConfig{M: m})
+		if err != nil {
+			return false
+		}
+		if len(s) != m || !sort.IntsAreSorted(s) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v <= 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

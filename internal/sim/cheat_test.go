@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"egoist/internal/cheat"
+	"egoist/internal/core"
+)
+
+// TestDeflationCheatingAlsoBounded covers footnote 10: announcing
+// lower-than-actual delays (factor < 1, making oneself look attractive)
+// also leaves costs close to the honest baseline.
+func TestDeflationCheatingAlsoBounded(t *testing.T) {
+	base := baseCfg(core.BRPolicy{})
+	base.WarmEpochs, base.MeasureEpochs = 6, 6
+	honest := run(t, base)
+
+	deflating := base
+	deflating.Cheat = cheat.Single(base.N, 3, 0.5) // announces half the real cost
+	res := run(t, deflating)
+
+	ratio := res.Cost.Mean / honest.Cost.Mean
+	if ratio > 1.3 || ratio < 0.7 {
+		t.Fatalf("deflating cheater moved mean cost by %.0f%%", (ratio-1)*100)
+	}
+}
+
+// TestManyCheatersWorstCaseStillConnected: even with a third of the
+// population lying, the overlay must remain connected (no penalty costs).
+func TestManyCheatersStillConnected(t *testing.T) {
+	base := baseCfg(core.BRPolicy{})
+	base.Cheat = cheat.Population(base.N, base.N/3, 2, newTestRng(5))
+	res := run(t, base)
+	if res.Cost.Mean >= core.DisconnectedPenalty {
+		t.Fatalf("overlay disconnected under cheating: %v", res.Cost.Mean)
+	}
+}
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

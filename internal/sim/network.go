@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"egoist/internal/topology"
+)
+
+// Network abstracts the substrate beneath a simulated overlay: the true
+// pairwise delays, per-node loads and available bandwidths, advancing in
+// epochs. internal/underlay provides the synthetic wide-area
+// implementation; TraceNetwork replays a measured delay matrix (the
+// paper's trace-driven Sect. 5 setting).
+type Network interface {
+	// N returns the number of nodes.
+	N() int
+	// Delay returns the current true one-way delay in ms from i to j.
+	Delay(i, j int) float64
+	// Load returns the current true load of node i.
+	Load(i int) float64
+	// AvailBW returns the current true available bandwidth in Mbps.
+	AvailBW(i, j int) float64
+	// Step advances the substrate's dynamics by dt epochs.
+	Step(dt float64)
+}
+
+// TraceNetwork serves delays from a static matrix with optional
+// multiplicative jitter, for trace-driven simulations. Loads and
+// bandwidths are synthetic constants with small noise: a delay trace
+// carries no load or bandwidth information, so only the delay metrics are
+// meaningful over it.
+type TraceNetwork struct {
+	base   topology.DelayMatrix
+	jitter [][]float64
+	frac   float64
+	rng    *rand.Rand
+	loads  []float64
+}
+
+// NewTraceNetwork wraps a delay matrix. jitterFrac sets the relative
+// stddev of per-epoch delay wobble (0 freezes the trace).
+func NewTraceNetwork(m topology.DelayMatrix, jitterFrac float64, seed int64) (*TraceNetwork, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	t := &TraceNetwork{
+		base: m,
+		frac: jitterFrac,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	t.jitter = make([][]float64, n)
+	for i := range t.jitter {
+		t.jitter[i] = make([]float64, n)
+		for j := range t.jitter[i] {
+			t.jitter[i][j] = 1
+		}
+	}
+	t.loads = make([]float64, n)
+	for i := range t.loads {
+		t.loads[i] = 1 + t.rng.Float64()
+	}
+	return t, nil
+}
+
+// N implements Network.
+func (t *TraceNetwork) N() int { return t.base.N() }
+
+// Delay implements Network.
+func (t *TraceNetwork) Delay(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return t.base[i][j] * t.jitter[i][j]
+}
+
+// Load implements Network.
+func (t *TraceNetwork) Load(i int) float64 { return t.loads[i] }
+
+// AvailBW implements Network. Traces carry no bandwidth; a constant keeps
+// the Bandwidth metric well-defined but uninformative.
+func (t *TraceNetwork) AvailBW(i, j int) float64 {
+	if i == j {
+		return 1e12
+	}
+	return 100
+}
+
+// Step implements Network: jitter factors relax toward fresh noise.
+func (t *TraceNetwork) Step(dt float64) {
+	if t.frac == 0 {
+		return
+	}
+	alpha := 0.5 * dt
+	if alpha > 1 {
+		alpha = 1
+	}
+	n := t.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			target := 1 + t.rng.NormFloat64()*t.frac
+			if target < 0.2 {
+				target = 0.2
+			}
+			t.jitter[i][j] += alpha * (target - t.jitter[i][j])
+		}
+	}
+}
+
+// checkNetwork validates a caller-supplied network against the config.
+func checkNetwork(net Network, n int) error {
+	if net.N() != n {
+		return fmt.Errorf("sim: network has %d nodes, config says %d", net.N(), n)
+	}
+	return nil
+}

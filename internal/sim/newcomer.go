@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"egoist/internal/core"
+	"egoist/internal/graph"
+	"egoist/internal/sampling"
+	"egoist/internal/topology"
+)
+
+// GrowPolicy names the strategy used to grow the base overlay of the
+// sampling experiments (Sect. 5): the incremental construction where node
+// i joins the overlay formed by nodes 0..i-1.
+type GrowPolicy int
+
+const (
+	// GrowBR grows the base graph with full best responses (no sampling).
+	GrowBR GrowPolicy = iota
+	// GrowKRandom grows with k-Random joins.
+	GrowKRandom
+	// GrowKRegular grows with k-Regular joins computed over the final ring.
+	GrowKRegular
+	// GrowKClosest grows with k-Closest joins.
+	GrowKClosest
+)
+
+// String names the grow policy.
+func (g GrowPolicy) String() string {
+	switch g {
+	case GrowBR:
+		return "BR"
+	case GrowKRandom:
+		return "k-Random"
+	case GrowKRegular:
+		return "k-Regular"
+	case GrowKClosest:
+		return "k-Closest"
+	default:
+		return fmt.Sprintf("GrowPolicy(%d)", int(g))
+	}
+}
+
+// NewcomerStrategy names the wiring strategy of the joining node in the
+// sampling experiments. All strategies operate on a size-m sample except
+// BRtp, which draws its sample with topology bias.
+type NewcomerStrategy int
+
+const (
+	// NewcomerKRandom wires to k random members of a random sample.
+	NewcomerKRandom NewcomerStrategy = iota
+	// NewcomerKRegular wires with the offset rule over a random sample.
+	NewcomerKRegular
+	// NewcomerKClosest wires to the k closest members of a random sample.
+	NewcomerKClosest
+	// NewcomerBR computes BR over a random sample.
+	NewcomerBR
+	// NewcomerBRtp computes BR over a topology-biased sample.
+	NewcomerBRtp
+	// NewcomerBRFull computes BR over the full residual graph (the
+	// normalization baseline of Figs. 5–8).
+	NewcomerBRFull
+)
+
+// String names the strategy as the figures label it.
+func (s NewcomerStrategy) String() string {
+	switch s {
+	case NewcomerKRandom:
+		return "k-Random"
+	case NewcomerKRegular:
+		return "k-Regular"
+	case NewcomerKClosest:
+		return "k-Closest"
+	case NewcomerBR:
+		return "BR"
+	case NewcomerBRtp:
+		return "BRtp"
+	case NewcomerBRFull:
+		return "BR-no-sampling"
+	default:
+		return fmt.Sprintf("NewcomerStrategy(%d)", int(s))
+	}
+}
+
+// NewcomerConfig parameterizes one sampling experiment.
+type NewcomerConfig struct {
+	// Delays is the static all-pairs delay matrix (the n=295 PlanetLab
+	// trace or a synthetic stand-in). The newcomer is node Delays.N()-1;
+	// the base graph is grown over nodes 0..N-2.
+	Delays topology.DelayMatrix
+	// K is the degree budget (paper: 3).
+	K int
+	// Grow selects the base-graph construction.
+	Grow GrowPolicy
+	// SampleSize is m; SamplePrime is m' (default 2m); Radius is r
+	// (default 2).
+	SampleSize, SamplePrime, Radius int
+	// Seed drives sampling and random wiring.
+	Seed int64
+	// Base, when non-nil, supplies a pre-grown base graph (from GrowBase)
+	// so sweeps over sample sizes need not re-grow it. It must have been
+	// grown over the same Delays, K and Grow policy.
+	Base *graph.Digraph
+}
+
+// GrowBase builds (and settles) the base overlay graph for the sampling
+// experiments, for reuse across RunNewcomer calls via NewcomerConfig.Base.
+func GrowBase(cfg NewcomerConfig) (*graph.Digraph, error) {
+	return growBase(cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// NewcomerResult reports the newcomer's achieved cost per strategy.
+type NewcomerResult struct {
+	// Cost[strategy] is the newcomer's uniform-preference routing cost.
+	Cost map[NewcomerStrategy]float64
+	// Ratio[strategy] is Cost[strategy] / Cost[NewcomerBRFull].
+	Ratio map[NewcomerStrategy]float64
+}
+
+// RunNewcomer grows the base overlay, then wires the newcomer with every
+// strategy and reports the cost each one achieves (Figs. 5–8).
+func RunNewcomer(cfg NewcomerConfig) (*NewcomerResult, error) {
+	n := cfg.Delays.N()
+	if n < 4 {
+		return nil, fmt.Errorf("sim: need >= 4 nodes, got %d", n)
+	}
+	if cfg.K < 1 || cfg.K >= n-1 {
+		return nil, fmt.Errorf("sim: bad k %d", cfg.K)
+	}
+	if cfg.SampleSize < cfg.K {
+		return nil, fmt.Errorf("sim: sample size %d below k %d", cfg.SampleSize, cfg.K)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := cfg.Base
+	if base == nil {
+		var err error
+		base, err = growBase(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	newcomer := n - 1
+	direct := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if j != newcomer {
+			direct[j] = cfg.Delays[newcomer][j]
+		}
+	}
+	var cands []int
+	for j := 0; j < n-1; j++ {
+		cands = append(cands, j)
+	}
+
+	resid := core.BuildResid(base, newcomer, core.Additive, nil)
+	// brInst builds the scaled-input instance of Sect. 5: when a sample is
+	// in play, both the candidate set and the objective's destination pairs
+	// are limited to the sample.
+	brInst := func(sample []int) *core.Instance {
+		return &core.Instance{
+			Self: newcomer, Kind: core.Additive, Direct: direct, Resid: resid,
+			Candidates: sample, Dests: sample,
+		}
+	}
+
+	res := &NewcomerResult{Cost: map[NewcomerStrategy]float64{}, Ratio: map[NewcomerStrategy]float64{}}
+	// Evaluation is always over the full destination set, regardless of
+	// what the newcomer sampled while deciding.
+	evalInst := &core.Instance{Self: newcomer, Kind: core.Additive, Direct: direct, Resid: resid}
+
+	wire := func(s NewcomerStrategy) ([]int, error) {
+		switch s {
+		case NewcomerBRFull:
+			full := brInst(nil)
+			chosen, _, err := core.BestResponse(full, cfg.K, core.BROptions{})
+			return chosen, err
+		case NewcomerBR:
+			sample := sampling.Random(rng, cands, cfg.SampleSize)
+			chosen, _, err := core.BestResponse(brInst(sample), cfg.K, core.BROptions{})
+			return chosen, err
+		case NewcomerBRtp:
+			sample, err := sampling.Biased(rng, base.WithoutNode(newcomer), cands, direct, sampling.BiasedConfig{
+				M: cfg.SampleSize, MPrime: cfg.SamplePrime, Radius: cfg.Radius,
+			})
+			if err != nil {
+				return nil, err
+			}
+			chosen, _, err := core.BestResponse(brInst(sample), cfg.K, core.BROptions{})
+			return chosen, err
+		case NewcomerKRandom:
+			sample := sampling.Random(rng, cands, cfg.SampleSize)
+			return sampling.Random(rng, sample, cfg.K), nil
+		case NewcomerKClosest:
+			sample := sampling.Random(rng, cands, cfg.SampleSize)
+			req := &core.Request{Self: newcomer, K: cfg.K, Kind: core.Additive, Direct: direct, Graph: base, Sample: sample}
+			return core.KClosest{}.Select(req)
+		case NewcomerKRegular:
+			sample := sampling.Random(rng, cands, cfg.SampleSize)
+			// Offset rule over the sampled ring: pick evenly spaced members.
+			var out []int
+			k := cfg.K
+			for j := 0; j < k && j*len(sample)/k < len(sample); j++ {
+				out = append(out, sample[j*len(sample)/k])
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("sim: unknown strategy %d", s)
+		}
+	}
+
+	for _, s := range []NewcomerStrategy{
+		NewcomerBRFull, NewcomerBR, NewcomerBRtp,
+		NewcomerKRandom, NewcomerKClosest, NewcomerKRegular,
+	} {
+		chosen, err := wire(s)
+		if err != nil {
+			return nil, fmt.Errorf("sim: strategy %v: %w", s, err)
+		}
+		res.Cost[s] = evalInst.Eval(chosen) / float64(n-1)
+	}
+	baseCost := res.Cost[NewcomerBRFull]
+	for s, c := range res.Cost {
+		res.Ratio[s] = c / baseCost
+	}
+	return res, nil
+}
+
+// growBase grows the overlay of nodes 0..n-2 incrementally with the
+// configured policy, using true delays as direct costs (the static-trace
+// setting of Sect. 5). After the incremental joins, every node re-wires
+// with its policy over the full membership for a few rounds: a node that
+// joined early chose among the handful of nodes present at the time, and
+// without these rounds the base graph keeps degenerate early wirings no
+// deployed system (which re-wires every epoch) would retain. For BR this
+// is the best-response dynamics converging toward the SNS equilibria of
+// the underlying game.
+func growBase(cfg NewcomerConfig, rng *rand.Rand) (*graph.Digraph, error) {
+	n := cfg.Delays.N() - 1 // newcomer excluded
+	g := graph.New(cfg.Delays.N())
+	for v := 0; v < n; v++ {
+		var chosen []int
+		switch cfg.Grow {
+		case GrowBR:
+			if v == 0 {
+				break
+			}
+			direct := directRow(cfg.Delays, v)
+			inst := &core.Instance{
+				Self:       v,
+				Kind:       core.Additive,
+				Direct:     direct,
+				Resid:      core.BuildResid(g, v, core.Additive, aliveUpTo(cfg.Delays.N(), v)),
+				Candidates: seq(0, v),
+				Dests:      seq(0, v),
+			}
+			var err error
+			chosen, _, err = core.BestResponse(inst, min(cfg.K, v), core.BROptions{})
+			if err != nil {
+				return nil, err
+			}
+		case GrowKRandom:
+			chosen = sampling.Random(rng, seq(0, v), min(cfg.K, v))
+		case GrowKClosest:
+			direct := directRow(cfg.Delays, v)
+			req := &core.Request{Self: v, K: min(cfg.K, v), Kind: core.Additive, Direct: direct, Graph: g, Sample: seq(0, v)}
+			var err error
+			chosen, err = (core.KClosest{}).Select(req)
+			if err != nil {
+				return nil, err
+			}
+		case GrowKRegular:
+			// Offsets over the final ring of n nodes; forward links to
+			// not-yet-joined nodes are fine for this static construction.
+			for j := 1; j <= cfg.K; j++ {
+				offset := 1 + (j-1)*(n-1)/(cfg.K+1)
+				chosen = append(chosen, (v+offset)%n)
+			}
+			chosen = dedupeExcluding(chosen, v)
+		default:
+			return nil, fmt.Errorf("sim: unknown grow policy %d", cfg.Grow)
+		}
+		for _, w := range chosen {
+			g.AddArc(v, w, cfg.Delays[v][w])
+		}
+	}
+	if err := settleBase(cfg, g, rng); err != nil {
+		return nil, err
+	}
+	// The paper's growth processes keep the graph connected (BR reconnects
+	// via the disconnection penalty); enforce a cycle for the heuristics.
+	wirings := make([][]int, cfg.Delays.N())
+	for v := 0; v < n; v++ {
+		wirings[v] = g.Neighbors(v)
+	}
+	active := aliveUpTo(cfg.Delays.N(), n)
+	if core.EnforceCycle(wirings, core.Additive, active, func(i, j int) float64 { return cfg.Delays[i][j] }) {
+		g = graph.New(cfg.Delays.N())
+		for v := 0; v < n; v++ {
+			for _, w := range wirings[v] {
+				g.AddArc(v, w, cfg.Delays[v][w])
+			}
+		}
+	}
+	return g, nil
+}
+
+// settleBase runs full-membership re-wiring rounds over the grown base
+// graph (newcomer excluded): two best-response rounds for GrowBR, one
+// re-selection round for the heuristics.
+func settleBase(cfg NewcomerConfig, g *graph.Digraph, rng *rand.Rand) error {
+	n := cfg.Delays.N() - 1
+	active := aliveUpTo(cfg.Delays.N(), n)
+	rounds := 1
+	if cfg.Grow == GrowBR {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		for v := 0; v < n; v++ {
+			direct := directRow(cfg.Delays, v)
+			var chosen []int
+			var err error
+			switch cfg.Grow {
+			case GrowBR:
+				inst := &core.Instance{
+					Self:       v,
+					Kind:       core.Additive,
+					Direct:     direct,
+					Resid:      core.BuildResid(g, v, core.Additive, active),
+					Candidates: seqExcept(0, n, v),
+					Dests:      seqExcept(0, n, v),
+				}
+				chosen, _, err = core.BestResponse(inst, cfg.K, core.BROptions{})
+			case GrowKRandom:
+				chosen = sampling.Random(rng, seqExcept(0, n, v), cfg.K)
+			case GrowKClosest:
+				req := &core.Request{Self: v, K: cfg.K, Kind: core.Additive, Direct: direct, Graph: g, Sample: seqExcept(0, n, v)}
+				chosen, err = (core.KClosest{}).Select(req)
+			case GrowKRegular:
+				// Already wired over the final ring; nothing to settle.
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			g.ClearOut(v)
+			for _, w := range chosen {
+				g.AddArc(v, w, cfg.Delays[v][w])
+			}
+		}
+		if cfg.Grow == GrowKRegular {
+			break
+		}
+	}
+	return nil
+}
+
+func seqExcept(lo, hi, skip int) []int {
+	var out []int
+	for v := lo; v < hi; v++ {
+		if v != skip {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func directRow(m topology.DelayMatrix, v int) []float64 {
+	out := make([]float64, m.N())
+	for j := range out {
+		if j != v {
+			out[j] = m[v][j]
+		}
+	}
+	return out
+}
+
+func seq(lo, hi int) []int {
+	var out []int
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func aliveUpTo(n, hi int) []bool {
+	out := make([]bool, n)
+	for v := 0; v < hi && v < n; v++ {
+		out[v] = true
+	}
+	return out
+}
+
+func dedupeExcluding(xs []int, self int) []int {
+	seen := map[int]bool{self: true}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

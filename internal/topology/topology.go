@@ -1,0 +1,225 @@
+// Package topology provides delay-matrix sources for EGOIST simulations:
+// synthetic generators (Waxman, Barabási–Albert/BRITE-like, ring lattice)
+// and a text trace format compatible with all-pairs ping datasets like the
+// one the paper uses for its n=295 PlanetLab simulations.
+//
+// A delay matrix is the static input of the large-scale simulations of
+// Sect. 5; the live system instead derives delays from internal/underlay.
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"egoist/internal/graph"
+)
+
+// DelayMatrix holds pairwise one-way delays in milliseconds.
+// M[i][j] is the delay from i to j; M[i][i] is 0.
+type DelayMatrix [][]float64
+
+// N returns the number of nodes.
+func (m DelayMatrix) N() int { return len(m) }
+
+// Validate checks that the matrix is square, has a zero diagonal, and all
+// off-diagonal entries are positive and finite.
+func (m DelayMatrix) Validate() error {
+	n := len(m)
+	for i, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("topology: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			switch {
+			case i == j && d != 0:
+				return fmt.Errorf("topology: diagonal entry (%d,%d) = %v, want 0", i, j, d)
+			case i != j && (d <= 0 || math.IsNaN(d) || math.IsInf(d, 0)):
+				return fmt.Errorf("topology: entry (%d,%d) = %v, want positive finite", i, j, d)
+			}
+		}
+	}
+	return nil
+}
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) DelayMatrix {
+	m := make(DelayMatrix, n)
+	backing := make([]float64, n*n)
+	for i := range m {
+		m[i], backing = backing[:n], backing[n:]
+	}
+	return m
+}
+
+// Waxman generates an n-node delay matrix from the Waxman random graph
+// model: nodes are placed uniformly in a unit square and the delay between
+// two nodes is proportional to their Euclidean distance, scaled to scaleMS
+// milliseconds across the diagonal, with multiplicative noise. The full
+// matrix is produced (the overlay can link any pair), so alpha/beta edge
+// probabilities are not needed — only the distance geometry matters.
+func Waxman(n int, scaleMS float64, rng *rand.Rand) DelayMatrix {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j]) / math.Sqrt2 * scaleMS
+			noise := 1 + math.Abs(rng.NormFloat64())*0.1
+			m[i][j] = math.Max(0.1, d*noise+1)
+		}
+	}
+	return m
+}
+
+// BarabasiAlbert generates an n-node delay matrix from a BRITE-like
+// preferential-attachment topology: a scale-free router graph is grown with
+// mAttach edges per new node, each underlay edge gets a random latency, and
+// the delay between two overlay nodes is their shortest-path distance in the
+// router graph. This reproduces the heavy-tailed, hub-dominated delay
+// structure of AS-level topologies.
+func BarabasiAlbert(n, mAttach int, rng *rand.Rand) DelayMatrix {
+	if mAttach < 1 {
+		mAttach = 1
+	}
+	g := graph.New(n)
+	// Track attachment targets proportional to degree using the repeated
+	// endpoint list trick.
+	var endpoints []int
+	for v := 1; v < n; v++ {
+		attach := mAttach
+		if attach > v {
+			attach = v
+		}
+		chosen := map[int]bool{}
+		for len(chosen) < attach {
+			var target int
+			if len(endpoints) == 0 || rng.Float64() < 0.2 {
+				target = rng.Intn(v)
+			} else {
+				target = endpoints[rng.Intn(len(endpoints))]
+			}
+			if target != v {
+				chosen[target] = true
+			}
+		}
+		for target := range chosen {
+			w := 2 + rng.ExpFloat64()*15 // ms per router hop
+			g.AddArc(v, target, w)
+			g.AddArc(target, v, w*(1+math.Abs(rng.NormFloat64())*0.05))
+			endpoints = append(endpoints, v, target)
+		}
+	}
+	dist := graph.APSP(g)
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m[i][j] = dist[i][j]
+			}
+		}
+	}
+	return m
+}
+
+// RingLattice generates a delay matrix where nodes sit on a ring and the
+// delay is proportional to ring distance. Useful as a pathological case for
+// k-Regular (which matches it perfectly) and as a deterministic fixture.
+func RingLattice(n int, hopMS float64) DelayMatrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := (j - i + n) % n
+			if rev := (i - j + n) % n; rev < d {
+				d = rev
+			}
+			m[i][j] = float64(d) * hopMS
+		}
+	}
+	return m
+}
+
+// WriteTrace writes the matrix in the all-pairs ping trace format:
+// a header line "n <count>" followed by one "i j delay_ms" line per
+// directed pair.
+func WriteTrace(w io.Writer, m DelayMatrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", m.N()); err != nil {
+		return err
+	}
+	for i := range m {
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %.4f\n", i, j, m[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the format emitted by WriteTrace. Missing pairs are an
+// error; the matrix must be complete for the simulations to be meaningful.
+func ReadTrace(r io.Reader) (DelayMatrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("topology: empty trace")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "n" {
+		return nil, fmt.Errorf("topology: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[1])
+	if err != nil || n < 2 {
+		return nil, fmt.Errorf("topology: bad node count %q", header[1])
+	}
+	m := NewMatrix(n)
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("topology: bad line %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		d, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("topology: bad line %q", line)
+		}
+		if i < 0 || i >= n || j < 0 || j >= n || i == j {
+			return nil, fmt.Errorf("topology: bad pair (%d,%d)", i, j)
+		}
+		m[i][j] = d
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != n*(n-1) {
+		return nil, fmt.Errorf("topology: trace has %d pairs, want %d", seen, n*(n-1))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaxmanValid(t *testing.T) {
+	m := Waxman(50, 200, rand.New(rand.NewSource(1)))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 50 {
+		t.Fatalf("N = %d, want 50", m.N())
+	}
+}
+
+func TestBarabasiAlbertValid(t *testing.T) {
+	m := BarabasiAlbert(80, 2, rand.New(rand.NewSource(2)))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarabasiAlbertConnected(t *testing.T) {
+	// Preferential attachment always yields a connected graph, so every
+	// delay must be finite (Validate checks this) even with mAttach=1.
+	m := BarabasiAlbert(40, 1, rand.New(rand.NewSource(3)))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingLatticeStructure(t *testing.T) {
+	m := RingLattice(6, 10)
+	if m[0][1] != 10 || m[0][3] != 30 || m[0][5] != 10 {
+		t.Fatalf("ring distances wrong: %v", m[0])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadDiagonal(t *testing.T) {
+	m := NewMatrix(3)
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 1
+			}
+		}
+	}
+	m[1][1] = 5
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected diagonal error")
+	}
+}
+
+func TestValidateCatchesNonPositive(t *testing.T) {
+	m := NewMatrix(2)
+	m[0][1] = 1
+	m[1][0] = 0 // invalid: off-diagonal zero
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected non-positive entry error")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	m := Waxman(12, 100, rand.New(rand.NewSource(4)))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != m.N() {
+		t.Fatalf("round trip N = %d, want %d", got.N(), m.N())
+	}
+	for i := range m {
+		for j := range m[i] {
+			diff := got[i][j] - m[i][j]
+			if diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("entry (%d,%d): %v vs %v", i, j, got[i][j], m[i][j])
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsIncomplete(t *testing.T) {
+	in := "n 3\n0 1 5.0\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for incomplete trace")
+	}
+}
+
+func TestReadTraceRejectsBadHeader(t *testing.T) {
+	for _, in := range []string{"", "x 3\n", "n -1\n", "n abc\n"} {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for header %q", in)
+		}
+	}
+}
+
+func TestReadTraceRejectsSelfPair(t *testing.T) {
+	in := "n 2\n0 0 5.0\n0 1 1\n1 0 1\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for self pair")
+	}
+}
+
+func TestReadTraceSkipsComments(t *testing.T) {
+	in := "n 2\n# comment\n0 1 5.0\n\n1 0 6.0\n"
+	m, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 5 || m[1][0] != 6 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+// Property: generated matrices of any seed validate.
+func TestGeneratorsAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		if err := Waxman(n, 150, rng).Validate(); err != nil {
+			return false
+		}
+		return BarabasiAlbert(n, 1+rng.Intn(3), rng).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package transfer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"egoist/internal/core"
+	"egoist/internal/linkstate"
+	"egoist/internal/overlay"
+	"egoist/internal/topology"
+)
+
+// TestTransferOverLiveOverlay runs a multipath file transfer across a real
+// overlay: goroutine nodes, link-state flooding, hop-by-hop forwarding.
+func TestTransferOverLiveOverlay(t *testing.T) {
+	const n, k = 6, 2
+	bus := linkstate.NewBus(n)
+	defer bus.Close()
+	m := topology.RingLattice(n, 4)
+	nodes := make([]*overlay.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := overlay.Start(overlay.Config{
+			ID: i, N: n, K: k,
+			Policy:    core.BRPolicy{},
+			Transport: bus.Endpoint(i),
+			Epoch:     80 * time.Millisecond,
+			Announce:  25 * time.Millisecond,
+			Bootstrap: []int{(i + n - 1) % n},
+			DelayOracle: func(from, to int) float64 {
+				return m[from][to]
+			},
+			Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+
+	// Wait for overlay convergence.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := true
+		for _, node := range nodes {
+			if len(node.KnownNodes()) < n-1 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	sender := New(nodes[0])
+	receiver := New(nodes[3])
+	var mu sync.Mutex
+	var got []byte
+	receiver.OnComplete(func(src int, id uint64, data []byte) {
+		mu.Lock()
+		got = data
+		mu.Unlock()
+	})
+
+	data := payload(20000, 99)
+	if _, err := sender.Transfer(3, data, 2048, true); err != nil {
+		t.Fatal(err)
+	}
+	// Drive repair until delivered (data may race ahead of route
+	// convergence; NACK ticks recover anything dropped).
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := got != nil
+		mu.Unlock()
+		if done {
+			break
+		}
+		receiver.Tick()
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, data) {
+		t.Fatalf("live transfer incomplete: got %d bytes, want %d", len(got), len(data))
+	}
+}

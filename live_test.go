@@ -1,0 +1,137 @@
+package egoist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLiveOverlayDataPlane(t *testing.T) {
+	lo, err := StartLocalOverlay(LiveOptions{N: 6, K: 2, Epoch: 80 * time.Millisecond, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lo.Stop()
+
+	// Wait for convergence.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := true
+		for i := 0; i < lo.N(); i++ {
+			if lo.Known(i) < lo.N()-1 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var mu sync.Mutex
+	var gotSrc int
+	var gotPayload []byte
+	lo.OnData(5, func(src int, payload []byte) {
+		mu.Lock()
+		gotSrc, gotPayload = src, append([]byte(nil), payload...)
+		mu.Unlock()
+	})
+
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_ = lo.Send(0, 5, []byte("facade"))
+		time.Sleep(50 * time.Millisecond)
+		mu.Lock()
+		done := string(gotPayload) == "facade"
+		mu.Unlock()
+		if done {
+			break
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(gotPayload) != "facade" || gotSrc != 0 {
+		t.Fatalf("delivery failed: src=%d payload=%q", gotSrc, gotPayload)
+	}
+	d, _, _ := lo.DataStats(5)
+	if d == 0 {
+		t.Fatal("delivery counter not incremented")
+	}
+}
+
+func TestLiveOverlayFileTransfer(t *testing.T) {
+	lo, err := StartLocalOverlay(LiveOptions{N: 6, K: 2, Epoch: 80 * time.Millisecond, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lo.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := true
+		for i := 0; i < lo.N(); i++ {
+			if lo.Known(i) < lo.N()-1 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	sender := lo.FileEndpoint(0)
+	receiver := lo.FileEndpoint(4)
+	var mu sync.Mutex
+	var got []byte
+	receiver.OnFile(func(src int, id uint64, data []byte) {
+		mu.Lock()
+		got = data
+		mu.Unlock()
+	})
+	blob := make([]byte, 20000)
+	for i := range blob {
+		blob[i] = byte(i * 7)
+	}
+	if _, err := sender.SendFile(4, blob, true); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(12 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(got) == len(blob)
+		mu.Unlock()
+		if done {
+			break
+		}
+		receiver.Repair()
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(blob) {
+		t.Fatalf("transfer incomplete: %d/%d bytes", len(got), len(blob))
+	}
+	for i := range blob {
+		if got[i] != blob[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestLiveOverlayHybridBR(t *testing.T) {
+	lo, err := StartLocalOverlay(LiveOptions{N: 6, K: 3, Policy: HybridBR, Epoch: 80 * time.Millisecond, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lo.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if lo.Known(0) >= lo.N()-1 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("HybridBR live overlay never converged")
+}

@@ -1,0 +1,6 @@
+package egoist
+
+import "math/rand"
+
+// newRand returns a seeded RNG (a tiny helper shared by the facade files).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
