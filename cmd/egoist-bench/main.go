@@ -42,8 +42,10 @@ func main() {
 		list    = flag.Bool("list", false, "list available figure ids and exit")
 		maxRows = flag.Int("rows", 30, "max table rows per figure (time series are downsampled)")
 		svgDir  = flag.String("svg", "", "also write one SVG plot per figure into this directory")
+		workers = flag.Int("workers", 0, "concurrent simulations per figure sweep (0 = NumCPU, 1 = sequential; identical output either way)")
 	)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {

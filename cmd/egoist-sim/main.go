@@ -32,6 +32,7 @@ func main() {
 		cheaters = flag.Int("cheaters", 0, "number of free riders announcing 2x costs")
 		delays   = flag.String("delays", "", "all-pairs delay trace file (replaces the synthetic underlay; see egoist-trace)")
 		topoSVG  = flag.String("topo", "", "write the final overlay topology as SVG to this file")
+		workers  = flag.Int("workers", 0, "parallel best-response workers per epoch (0 = NumCPU, 1 = sequential; identical results either way)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		Epsilon:    *epsilon,
 		WarmEpochs: *warm, MeasureEpochs: *epochs,
 		Cheaters: *cheaters,
+		Workers:  *workers,
 	}
 	if *delays != "" {
 		m, err := egoist.LoadDelayTrace(*delays)

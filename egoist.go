@@ -134,6 +134,10 @@ type SimOptions struct {
 	// DelayJitter is the per-epoch relative delay wobble applied on top of
 	// a trace (default 0.05 when Delays is set).
 	DelayJitter float64
+	// Workers bounds the parallelism of the per-epoch best-response phase
+	// (0 = runtime.NumCPU(), 1 = sequential). Results are identical for
+	// any value; see sim.Config.Workers.
+	Workers int
 }
 
 func (o SimOptions) build() (sim.Config, error) {
@@ -145,7 +149,7 @@ func (o SimOptions) build() (sim.Config, error) {
 		N: o.N, K: o.K, Seed: o.Seed, Metric: metric,
 		Epsilon:    o.Epsilon,
 		WarmEpochs: o.WarmEpochs, MeasureEpochs: o.MeasureEpochs,
-		Churn: o.Churn,
+		Churn: o.Churn, Workers: o.Workers,
 	}
 	if cfg.WarmEpochs == 0 {
 		cfg.WarmEpochs = 10

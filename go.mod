@@ -1,0 +1,3 @@
+module egoist
+
+go 1.21

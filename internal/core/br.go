@@ -37,11 +37,27 @@ func (o BROptions) maxCombinations() int64 {
 // the greedy + single-swap local search EGOIST deploys (Sect. 3.2), which
 // matches the Arya et al. k-median local search the paper cites. It returns
 // the chosen set (sorted) and its objective value.
+//
+// BestResponse reads but never writes the instance; concurrent calls on
+// the same or distinct instances are safe.
 func BestResponse(in *Instance, k int, opts BROptions) ([]int, float64, error) {
+	return BestResponseScratch(in, k, opts, nil)
+}
+
+// BestResponseScratch is BestResponse with an explicit scratch: all solver
+// working memory (per-destination arrays, membership sets, swap caches)
+// lives in s and is reused by the next call, keeping the per-epoch hot path
+// of the parallel simulation engine allocation-free. The returned set is
+// freshly allocated and remains valid after s is reused. A nil s allocates
+// a scratch for the call.
+func BestResponseScratch(in *Instance, k int, opts BROptions, s *Scratch) ([]int, float64, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
 	}
-	cands := in.candidates()
+	if s == nil {
+		s = &Scratch{}
+	}
+	cands := in.candidatesInto(s)
 	if k < 0 {
 		return nil, 0, fmt.Errorf("core: negative k %d", k)
 	}
@@ -49,24 +65,27 @@ func BestResponse(in *Instance, k int, opts BROptions) ([]int, float64, error) {
 		k = len(cands)
 	}
 	if k == 0 {
-		return nil, in.Eval(nil), nil
+		return nil, in.EvalScratch(nil, s), nil
 	}
 	if opts.Exact {
-		return exactBR(in, k, cands, opts)
+		return exactBR(in, k, cands, opts, s)
 	}
-	chosen := greedyBR(in, k, cands)
-	chosen, val := localSearch(in, chosen, cands, opts.maxPasses())
+	dests := in.destsInto(s)
+	chosen := greedyBR(in, k, cands, dests, s)
+	chosen, val := localSearch(in, chosen, cands, dests, opts.maxPasses(), s)
 	sort.Ints(chosen)
 	return chosen, val, nil
 }
 
 // greedyBR builds a k-set by repeatedly adding the facility with the best
 // marginal improvement — the standard k-median greedy warm start.
-func greedyBR(in *Instance, k int, cands []int) []int {
-	best := in.bestPerDest(nil)
-	dests := in.dests()
+func greedyBR(in *Instance, k int, cands, dests []int, s *Scratch) []int {
+	s.best = floats(s.best, in.n())
+	best := s.best
+	in.bestPerDestInto(nil, best)
+	s.used = bools(s.used, in.n())
+	used := s.used
 	chosen := make([]int, 0, k)
-	used := make(map[int]bool, k)
 	for len(chosen) < k {
 		bestCand := -1
 		bestTotal := math.NaN()
@@ -94,7 +113,7 @@ func greedyBR(in *Instance, k int, cands []int) []int {
 		}
 		chosen = append(chosen, bestCand)
 		used[bestCand] = true
-		in.foldFacilities(best, []int{bestCand})
+		in.foldFacilities(best, chosen[len(chosen)-1:])
 	}
 	return chosen
 }
@@ -102,20 +121,20 @@ func greedyBR(in *Instance, k int, cands []int) []int {
 // localSearch improves a wiring with single swaps (drop one chosen
 // facility, add one unchosen candidate) until no swap improves the
 // objective or maxPasses passes elapse. It returns the improved set and
-// its value.
+// its value. chosen must be caller-owned; it is modified in place.
 //
 // Swap evaluation is incremental: per destination the best and second-best
 // facility values are cached, so evaluating one swap costs O(|dests|)
 // instead of O(k·|dests|). This is what keeps epoch-level simulation of a
 // 50-node overlay over hundreds of epochs cheap.
-func localSearch(in *Instance, chosen, cands []int, maxPasses int) ([]int, float64) {
-	cur := append([]int(nil), chosen...)
-	inSet := make(map[int]bool, len(cur))
+func localSearch(in *Instance, chosen, cands []int, dests []int, maxPasses int, s *Scratch) ([]int, float64) {
+	cur := chosen
+	s.used = bools(s.used, in.n())
+	inSet := s.used
 	for _, w := range cur {
 		inSet[w] = true
 	}
-	dests := in.dests()
-	st := newSwapState(in, dests)
+	st := newSwapState(in, dests, s)
 	st.rebuild(cur)
 	curVal := st.total()
 
@@ -135,7 +154,7 @@ func localSearch(in *Instance, chosen, cands []int, maxPasses int) ([]int, float
 			}
 			if bestC >= 0 {
 				cur[si] = bestC
-				delete(inSet, old)
+				inSet[old] = false
 				inSet[bestC] = true
 				curVal = bestVal
 				st.rebuild(cur)
@@ -157,16 +176,18 @@ type swapState struct {
 	// Per destination (indexed positionally like dests):
 	best1W           []int
 	best1Val, best2V []float64
-	fixedCache       [][2]float64 // best/second-best over Fixed only
 }
 
-func newSwapState(in *Instance, dests []int) *swapState {
+func newSwapState(in *Instance, dests []int, s *Scratch) *swapState {
+	s.sw1W = ints(s.sw1W, len(dests))
+	s.sw1V = floats(s.sw1V, len(dests))
+	s.sw2V = floats(s.sw2V, len(dests))
 	return &swapState{
 		in:       in,
 		dests:    dests,
-		best1W:   make([]int, len(dests)),
-		best1Val: make([]float64, len(dests)),
-		best2V:   make([]float64, len(dests)),
+		best1W:   s.sw1W,
+		best1Val: s.sw1V,
+		best2V:   s.sw2V,
 	}
 }
 
@@ -235,7 +256,7 @@ func (st *swapState) swapValue(out, c int) float64 {
 }
 
 // exactBR enumerates all k-subsets of the candidates.
-func exactBR(in *Instance, k int, cands []int, opts BROptions) ([]int, float64, error) {
+func exactBR(in *Instance, k int, cands []int, opts BROptions, s *Scratch) ([]int, float64, error) {
 	if c := combinations(len(cands), k); c < 0 || c > opts.maxCombinations() {
 		return nil, 0, fmt.Errorf("core: exact BR over %d candidates choose %d exceeds limit", len(cands), k)
 	}
@@ -250,7 +271,7 @@ func exactBR(in *Instance, k int, cands []int, opts BROptions) ([]int, float64, 
 		for i, ix := range idx {
 			subset[i] = cands[ix]
 		}
-		if v := in.Eval(subset); bestSet == nil || in.Kind.better(v, bestVal) {
+		if v := in.EvalScratch(subset, s); bestSet == nil || in.Kind.better(v, bestVal) {
 			bestVal = v
 			bestSet = append(bestSet[:0], subset...)
 		}

@@ -159,6 +159,10 @@ func (a *accum) value() float64 {
 // Instance is one node's best-response problem: the data v_i derives from
 // the link-state protocol (the residual graph G−i) and from its own
 // measurements (the direct link costs d_ij), as described in Sect. 3.1.
+//
+// An Instance is never mutated by Eval or BestResponse, so distinct
+// goroutines may solve the same Instance concurrently — each with its own
+// Scratch (or none).
 type Instance struct {
 	// Self is the deciding node's identifier.
 	Self int
@@ -220,6 +224,44 @@ func (in *Instance) dests() []int {
 	return out
 }
 
+// candidatesInto is candidates with the materialized list stored in s's
+// buffer. The result aliases in.Candidates when that is set.
+func (in *Instance) candidatesInto(s *Scratch) []int {
+	if in.Candidates != nil {
+		return in.Candidates
+	}
+	if s == nil {
+		return in.candidates()
+	}
+	buf := s.candBuf[:0]
+	for j := 0; j < in.n(); j++ {
+		if j != in.Self {
+			buf = append(buf, j)
+		}
+	}
+	s.candBuf = buf
+	return buf
+}
+
+// destsInto is dests with the materialized list stored in s's buffer. The
+// result aliases in.Dests when that is set.
+func (in *Instance) destsInto(s *Scratch) []int {
+	if in.Dests != nil {
+		return in.Dests
+	}
+	if s == nil {
+		return in.dests()
+	}
+	buf := s.destBuf[:0]
+	for j := 0; j < in.n(); j++ {
+		if j != in.Self {
+			buf = append(buf, j)
+		}
+	}
+	s.destBuf = buf
+	return buf
+}
+
 func (in *Instance) pref(j int) float64 {
 	if in.Pref == nil {
 		return 1
@@ -265,26 +307,48 @@ func (in *Instance) Validate() error {
 // better) or total weighted bottleneck bandwidth for Bottleneck (higher is
 // better). A destination reachable through no facility contributes the
 // DisconnectedPenalty (Additive) or zero (Bottleneck).
+//
+// Eval does not mutate the instance; distinct goroutines may evaluate the
+// same Instance concurrently.
 func (in *Instance) Eval(chosen []int) float64 {
-	best := in.bestPerDest(chosen)
+	return in.EvalScratch(chosen, nil)
+}
+
+// EvalScratch is Eval with reusable buffers. A nil scratch falls back to
+// per-call allocation.
+func (in *Instance) EvalScratch(chosen []int, s *Scratch) float64 {
+	var best []float64
+	if s != nil {
+		s.best = floats(s.best, in.n())
+		best = s.best
+	} else {
+		best = make([]float64, in.n())
+	}
+	in.bestPerDestInto(chosen, best)
 	acc := newAccum(in.Kind, in.Agg)
-	for _, j := range in.dests() {
-		acc.add(in.pref(j), in.Kind.finalize(best[j]))
+	if in.Dests == nil {
+		for j := 0; j < in.n(); j++ {
+			if j != in.Self {
+				acc.add(in.pref(j), in.Kind.finalize(best[j]))
+			}
+		}
+	} else {
+		for _, j := range in.Dests {
+			acc.add(in.pref(j), in.Kind.finalize(best[j]))
+		}
 	}
 	return acc.value()
 }
 
-// bestPerDest returns, for every node j, the best achievable cost to j via
-// any facility in chosen ∪ Fixed (indexed by node id; non-destination
-// entries are still filled, harmlessly).
-func (in *Instance) bestPerDest(chosen []int) []float64 {
-	best := make([]float64, in.n())
+// bestPerDestInto fills best (length n) with, for every node j, the best
+// achievable cost to j via any facility in chosen ∪ Fixed (indexed by node
+// id; non-destination entries are still filled, harmlessly).
+func (in *Instance) bestPerDestInto(chosen []int, best []float64) {
 	for j := range best {
 		best[j] = in.Kind.worst()
 	}
 	in.foldFacilities(best, in.Fixed)
 	in.foldFacilities(best, chosen)
-	return best
 }
 
 func (in *Instance) foldFacilities(best []float64, facilities []int) {

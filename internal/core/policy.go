@@ -12,6 +12,11 @@ import (
 // (re-)wiring one node: the announced overlay graph, the node's own direct
 // cost measurements, the set of currently-alive nodes, and an optional
 // candidate sample.
+//
+// Distinct Requests may be served concurrently (the parallel simulation
+// engine issues one per node per epoch) as long as each has its own Rng and
+// Scratch and the shared inputs (Graph, Active, Direct, Pref) are not
+// mutated while Select runs.
 type Request struct {
 	Self   int
 	K      int
@@ -22,6 +27,15 @@ type Request struct {
 	Pref   []float64      // preference weights; nil = uniform
 	Sample []int          // candidate restriction from the sampling layer
 	Rng    *rand.Rand     // randomness for stochastic policies
+
+	// Resid, when non-nil, is the precomputed residual matrix of
+	// BuildResid(Graph, Self, Kind, Active). Callers that also need the
+	// matrix for the BR(ε) adoption test supply it here so it is computed
+	// once per re-wiring instead of twice.
+	Resid [][]float64
+	// Scratch, when non-nil, provides reusable solver buffers (one per
+	// worker in the parallel engine).
+	Scratch *Scratch
 }
 
 // alive reports whether node v participates right now.
@@ -170,11 +184,15 @@ func (p BRPolicy) Select(req *Request) ([]int, error) {
 	if k1 < 0 {
 		k1 = 0
 	}
+	resid := req.Resid
+	if resid == nil {
+		resid = BuildResidScratch(req.Graph, req.Self, req.Kind, req.Active, req.Scratch)
+	}
 	inst := &Instance{
 		Self:   req.Self,
 		Kind:   req.Kind,
 		Direct: req.Direct,
-		Resid:  BuildResid(req.Graph, req.Self, req.Kind, req.Active),
+		Resid:  resid,
 		Pref:   req.Pref,
 		Fixed:  donated,
 	}
@@ -197,7 +215,7 @@ func (p BRPolicy) Select(req *Request) ([]int, error) {
 	if req.Sample != nil && p.SampleDests {
 		inst.Dests = cands
 	}
-	chosen, _, err := BestResponse(inst, k1, p.Opts)
+	chosen, _, err := BestResponseScratch(inst, k1, p.Opts, req.Scratch)
 	if err != nil {
 		return nil, err
 	}

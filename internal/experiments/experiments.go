@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"egoist/internal/apps"
 	"egoist/internal/cheat"
@@ -18,10 +19,32 @@ import (
 	"egoist/internal/core"
 	"egoist/internal/graph"
 	"egoist/internal/measure"
+	"egoist/internal/par"
 	"egoist/internal/sim"
 	"egoist/internal/topology"
 	"egoist/internal/underlay"
 )
+
+// workers is the figure-level parallelism knob (0 = runtime.NumCPU()).
+var workers atomic.Int64
+
+// SetWorkers sets how many simulations a figure may run concurrently;
+// values <= 0 restore the default of runtime.NumCPU(). Figure output is
+// identical for any setting: every simulation in a sweep is independently
+// seeded and results are merged in a fixed order, so the knob only changes
+// wall-clock time.
+func SetWorkers(n int) { workers.Store(int64(n)) }
+
+// Workers reports the current figure-level parallelism (0 = NumCPU).
+func Workers() int { return int(workers.Load()) }
+
+// forEach runs fn(i) for every i in [0, n) over the experiment worker
+// pool, returning the lowest-indexed error. Callers collect results into
+// index i of a slice, which keeps merge order — and therefore figure
+// bytes — independent of scheduling.
+func forEach(n int, fn func(i int) error) error {
+	return par.DoErr(n, Workers(), func(_, i int) error { return fn(i) })
+}
 
 // Scale selects experiment effort.
 type Scale int
@@ -101,11 +124,14 @@ var fig1Policies = []struct {
 	{"k-Closest", func() core.Policy { return core.KClosest{} }, true},
 }
 
-// runPolicy runs one (policy, metric, k) simulation.
+// runPolicy runs one (policy, metric, k) simulation. Figures parallelize
+// across whole simulations (forEach), so each individual run stays on the
+// sequential engine: one level of parallelism, no oversubscription.
 func runPolicy(p params, metric sim.Metric, policy core.Policy, cycle bool, k int, opts func(*sim.Config)) (*sim.Result, error) {
 	cfg := sim.Config{
 		N: p.n, K: k, Seed: p.seed, Metric: metric, Policy: policy,
 		WarmEpochs: p.warm, MeasureEpochs: p.meas, EnforceCycle: cycle,
+		Workers: 1,
 	}
 	if opts != nil {
 		opts(&cfg)
@@ -133,25 +159,44 @@ func fig1(p params, id, title string, metric sim.Metric, includeMesh bool) (*Fig
 	if includeMesh {
 		curves = append(curves, curve{label: "Full mesh"})
 	}
-	xs := make([]float64, 0, len(p.ks))
+	// One job per (k, policy) cell, BR first in each k-column, plus — the
+	// full-mesh baseline does not depend on k — a single mesh job at the
+	// end; every run is independent, so the whole sweep fans out over the
+	// pool and results merge back by index.
+	type jobSpec struct {
+		policy core.Policy
+		cycle  bool
+		k      int
+	}
+	cols := 1 + len(fig1Policies)
+	jobs := make([]jobSpec, 0, len(p.ks)*cols+1)
 	for _, k := range p.ks {
-		br, err := runPolicy(p, metric, core.BRPolicy{}, false, k, nil)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, jobSpec{core.BRPolicy{}, false, k})
+		for _, pol := range fig1Policies {
+			jobs = append(jobs, jobSpec{pol.policy(), pol.cycle, k})
 		}
+	}
+	if includeMesh {
+		jobs = append(jobs, jobSpec{core.FullMesh{}, false, p.n - 1})
+	}
+	results := make([]*sim.Result, len(jobs))
+	if err := forEach(len(jobs), func(i int) error {
+		var err error
+		results[i], err = runPolicy(p, metric, jobs[i].policy, jobs[i].cycle, jobs[i].k, nil)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	xs := make([]float64, 0, len(p.ks))
+	for ki, k := range p.ks {
+		base := ki * cols
+		br := results[base]
 		xs = append(xs, float64(k))
-		for ci, pol := range fig1Policies {
-			res, err := runPolicy(p, metric, pol.policy(), pol.cycle, k, nil)
-			if err != nil {
-				return nil, err
-			}
-			curves[ci].ys = append(curves[ci].ys, res.Cost.Mean/br.Cost.Mean)
+		for ci := range fig1Policies {
+			curves[ci].ys = append(curves[ci].ys, results[base+1+ci].Cost.Mean/br.Cost.Mean)
 		}
 		if includeMesh {
-			mesh, err := runPolicy(p, metric, core.FullMesh{}, false, p.n-1, nil)
-			if err != nil {
-				return nil, err
-			}
+			mesh := results[len(results)-1]
 			curves[len(curves)-1].ys = append(curves[len(curves)-1].ys, mesh.Cost.Mean/br.Cost.Mean)
 		}
 	}
@@ -223,19 +268,27 @@ func Fig2a(s Scale) (*Figure, error) {
 	if s == Full {
 		ks = []int{3, 4, 5, 6, 7, 8} // paper's Fig. 2 left starts at k=3
 	}
+	cols := 1 + len(churnPolicies)
+	results := make([]*sim.Result, len(ks)*cols)
+	if err := forEach(len(results), func(i int) error {
+		k := ks[i/cols]
+		policy, cycle := core.Policy(core.BRPolicy{}), false
+		if ci := i%cols - 1; ci >= 0 {
+			policy, cycle = churnPolicies[ci].policy(), churnPolicies[ci].cycle
+		}
+		var err error
+		results[i], err = runPolicy(p, sim.DelayPing, policy, cycle, k, func(c *sim.Config) { c.Churn = sched })
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	curves := make([][]float64, len(churnPolicies))
 	xs := []float64{}
-	for _, k := range ks {
-		br, err := runPolicy(p, sim.DelayPing, core.BRPolicy{}, false, k, func(c *sim.Config) { c.Churn = sched })
-		if err != nil {
-			return nil, err
-		}
+	for ki, k := range ks {
+		br := results[ki*cols]
 		xs = append(xs, float64(k))
-		for ci, pol := range churnPolicies {
-			res, err := runPolicy(p, sim.DelayPing, pol.policy(), pol.cycle, k, func(c *sim.Config) { c.Churn = sched })
-			if err != nil {
-				return nil, err
-			}
+		for ci := range churnPolicies {
+			res := results[ki*cols+1+ci]
 			curves[ci] = append(curves[ci], res.Efficiency.Mean/br.Efficiency.Mean)
 		}
 	}
@@ -266,7 +319,10 @@ func Fig2b(s Scale) (*Figure, error) {
 	curves := make([][]float64, len(churnPolicies))
 	var xs []float64
 	horizon := float64(p.warm + p.meas)
-	for _, target := range targets {
+	// Schedules are generated up front (their seeds are fixed per target),
+	// then the (target, policy) grid fans out over the pool.
+	scheds := make([]*churn.Schedule, len(targets))
+	for ti, target := range targets {
 		total := 2 / target
 		sched, err := churn.GenerateSynthetic(churn.SyntheticConfig{
 			N: p.n, Horizon: horizon,
@@ -277,16 +333,27 @@ func Fig2b(s Scale) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		scheds[ti] = sched
 		xs = append(xs, sched.Rate(horizon))
-		br, err := runPolicy(p, sim.DelayPing, core.BRPolicy{}, false, k, func(c *sim.Config) { c.Churn = sched })
-		if err != nil {
-			return nil, err
+	}
+	cols := 1 + len(churnPolicies)
+	results := make([]*sim.Result, len(targets)*cols)
+	if err := forEach(len(results), func(i int) error {
+		sched := scheds[i/cols]
+		policy, cycle := core.Policy(core.BRPolicy{}), false
+		if ci := i%cols - 1; ci >= 0 {
+			policy, cycle = churnPolicies[ci].policy(), churnPolicies[ci].cycle
 		}
-		for ci, pol := range churnPolicies {
-			res, err := runPolicy(p, sim.DelayPing, pol.policy(), pol.cycle, k, func(c *sim.Config) { c.Churn = sched })
-			if err != nil {
-				return nil, err
-			}
+		var err error
+		results[i], err = runPolicy(p, sim.DelayPing, policy, cycle, k, func(c *sim.Config) { c.Churn = sched })
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ti := range targets {
+		br := results[ti*cols]
+		for ci := range churnPolicies {
+			res := results[ti*cols+1+ci]
 			curves[ci] = append(curves[ci], res.Efficiency.Mean/br.Efficiency.Mean)
 		}
 	}
@@ -308,16 +375,19 @@ func Fig3a(s Scale) (*Figure, error) {
 	if s == Quick {
 		ks = []int{2, 4}
 	}
-	for _, k := range ks {
-		cfg := sim.Config{
-			N: p.n, K: k, Seed: p.seed, Metric: sim.DelayPing, Policy: core.BRPolicy{},
-			WarmEpochs: 0, MeasureEpochs: p.longEpochs,
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		per := res.Rewires.PerEpoch()
+	results := make([]*sim.Result, len(ks))
+	if err := forEach(len(ks), func(i int) error {
+		var err error
+		results[i], err = sim.Run(sim.Config{
+			N: p.n, K: ks[i], Seed: p.seed, Metric: sim.DelayPing, Policy: core.BRPolicy{},
+			WarmEpochs: 0, MeasureEpochs: p.longEpochs, Workers: 1,
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		per := results[ki].Rewires.PerEpoch()
 		xs := make([]float64, len(per))
 		ys := make([]float64, len(per))
 		for i, v := range per {
@@ -339,23 +409,30 @@ func fig3Tradeoff(p params, id string, eps float64) (*Figure, error) {
 		ID: id, Title: fmt.Sprintf("%s cost vs full mesh, and re-wirings, vs k", label),
 		XLabel: "k", YLabel: "normalized cost / re-wirings per epoch",
 	}
+	// One BR run per k plus a single full-mesh baseline (it does not
+	// depend on k), all fanned out together.
 	var xs, costRatio, rewires []float64
-	for _, k := range p.ks {
-		br, err := runPolicy(p, sim.DelayPing, core.BRPolicy{}, false, k, func(c *sim.Config) {
-			c.Epsilon = eps
-			c.WarmEpochs = 0
-			c.MeasureEpochs = p.warm + p.meas
-		})
-		if err != nil {
-			return nil, err
+	brs := make([]*sim.Result, len(p.ks))
+	var mesh *sim.Result
+	if err := forEach(len(p.ks)+1, func(i int) error {
+		var err error
+		if i == len(p.ks) {
+			mesh, err = runPolicy(p, sim.DelayPing, core.FullMesh{}, false, p.n-1, nil)
+		} else {
+			brs[i], err = runPolicy(p, sim.DelayPing, core.BRPolicy{}, false, p.ks[i], func(c *sim.Config) {
+				c.Epsilon = eps
+				c.WarmEpochs = 0
+				c.MeasureEpochs = p.warm + p.meas
+			})
 		}
-		mesh, err := runPolicy(p, sim.DelayPing, core.FullMesh{}, false, p.n-1, nil)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ki, k := range p.ks {
 		xs = append(xs, float64(k))
-		costRatio = append(costRatio, br.Cost.Mean/mesh.Cost.Mean)
-		rewires = append(rewires, br.Rewires.Tail(0.5))
+		costRatio = append(costRatio, brs[ki].Cost.Mean/mesh.Cost.Mean)
+		rewires = append(rewires, brs[ki].Rewires.Tail(0.5))
 	}
 	fig.Series = append(fig.Series,
 		Series{Label: label + " cost / full-mesh cost", X: xs, Y: costRatio},
@@ -409,15 +486,16 @@ func Fig4a(s Scale) (*Figure, error) {
 		ID: "4a", Title: "One free rider (2x inflation): cost ratio vs k",
 		XLabel: "k", YLabel: "individual cost / cost without free rider",
 	}
-	var xs, riders, others []float64
-	for _, k := range p.ks {
+	xs := make([]float64, len(p.ks))
+	riders := make([]float64, len(p.ks))
+	others := make([]float64, len(p.ks))
+	if err := forEach(len(p.ks), func(i int) error {
+		k := p.ks[i]
 		r, o, err := fig4Run(p, k, cheat.Single(p.n, p.n/3, 2))
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, float64(k))
-		riders = append(riders, r)
-		others = append(others, o)
+		xs[i], riders[i], others[i] = float64(k), r, o
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series,
 		Series{Label: "Free rider", X: xs, Y: riders},
@@ -437,16 +515,22 @@ func Fig4b(s Scale) (*Figure, error) {
 	if s == Quick {
 		pops = []int{2, 6}
 	}
-	var xs, riders, others []float64
+	// Cheater populations draw from one shared stream, so the models are
+	// built sequentially up front; the simulations then fan out.
 	rng := rand.New(rand.NewSource(p.seed + 41))
-	for _, pop := range pops {
-		r, o, err := fig4Run(p, 2, cheat.Population(p.n, pop, 2, rng))
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, float64(pop))
-		riders = append(riders, r)
-		others = append(others, o)
+	models := make([]*cheat.Model, len(pops))
+	for pi, pop := range pops {
+		models[pi] = cheat.Population(p.n, pop, 2, rng)
+	}
+	xs := make([]float64, len(pops))
+	riders := make([]float64, len(pops))
+	others := make([]float64, len(pops))
+	if err := forEach(len(pops), func(i int) error {
+		r, o, err := fig4Run(p, 2, models[i])
+		xs[i], riders[i], others[i] = float64(pops[i]), r, o
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series,
 		Series{Label: "Free riders", X: xs, Y: riders},
@@ -500,33 +584,45 @@ func figSamplingOn(p params, id string, grow sim.GrowPolicy, delays topology.Del
 		sim.NewcomerBR, sim.NewcomerBRtp,
 	}
 	// Base graphs depend only on (delays, grow, seed): grow each rep's once
-	// and share it across the sample-size sweep.
+	// and share it across the sample-size sweep. Growing is independent per
+	// rep, so it fans out over the pool.
 	bases := make([]*graphBase, p.reps)
-	for rep := range bases {
+	if err := forEach(p.reps, func(rep int) error {
 		cfg := sim.NewcomerConfig{
 			Delays: delays, K: 3, Grow: grow,
 			SampleSize: 6, Seed: p.seed + int64(rep)*97,
 		}
 		g, err := sim.GrowBase(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bases[rep] = &graphBase{g: g, seed: cfg.Seed}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// The (sample size, repetition) grid is this package's biggest sweep;
+	// every cell is an independent newcomer simulation.
+	cells := make([]*sim.NewcomerResult, len(p.sampleMs)*p.reps)
+	if err := forEach(len(cells), func(i int) error {
+		m, rep := p.sampleMs[i/p.reps], i%p.reps
+		var err error
+		cells[i], err = sim.RunNewcomer(sim.NewcomerConfig{
+			Delays: delays, K: 3, Grow: grow,
+			SampleSize: m, SamplePrime: 4 * m, Radius: 2,
+			Seed: bases[rep].seed, Base: bases[rep].g,
+		})
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	curves := make(map[sim.NewcomerStrategy][]float64)
 	var xs []float64
-	for _, m := range p.sampleMs {
+	for mi, m := range p.sampleMs {
 		xs = append(xs, float64(m))
 		acc := map[sim.NewcomerStrategy][]float64{}
 		for rep := 0; rep < p.reps; rep++ {
-			res, err := sim.RunNewcomer(sim.NewcomerConfig{
-				Delays: delays, K: 3, Grow: grow,
-				SampleSize: m, SamplePrime: 4 * m, Radius: 2,
-				Seed: bases[rep].seed, Base: bases[rep].g,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := cells[mi*p.reps+rep]
 			for _, st := range strategies {
 				acc[st] = append(acc[st], res.Ratio[st])
 			}

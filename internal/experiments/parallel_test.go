@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figsToPin are Quick-scale figures whose bytes must not depend on the
+// worker count. Fig1a exercises the (k, policy) grid including the
+// full-mesh column; 2b the pre-generated churn schedules; 5 the sampling
+// (m, rep) grid with shared base graphs.
+var figsToPin = []string{"1a", "2b", "5"}
+
+// TestFigureBytesIndependentOfWorkers reruns figures with the pool forced
+// to one worker and to eight and requires identical output — the
+// experiment-level analogue of the simulator's Workers determinism
+// contract. Under -race this also drives concurrent sim.Run / RunNewcomer
+// over shared inputs (delay matrices, churn schedules, base graphs).
+func TestFigureBytesIndependentOfWorkers(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	for _, id := range figsToPin {
+		t.Run(id, func(t *testing.T) {
+			runner := Registry[id]
+			if runner == nil {
+				t.Fatalf("figure %s not registered", id)
+			}
+			SetWorkers(1)
+			seq, err := runner(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetWorkers(8)
+			par, err := runner(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("figure %s differs between 1 and 8 workers:\nseq: %+v\npar: %+v", id, seq, par)
+			}
+		})
+	}
+}
+
+// TestSetWorkersRoundTrips pins the knob's semantics.
+func TestSetWorkersRoundTrips(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 0 {
+		t.Fatalf("Workers() = %d after SetWorkers(0)", Workers())
+	}
+}

@@ -159,6 +159,20 @@ func (g *Digraph) Clone() *Digraph {
 	return c
 }
 
+// CopyFrom overwrites g with a deep copy of src, reusing g's arc storage
+// where possible. It is Clone for callers that keep a scratch graph alive
+// across many residual-graph constructions.
+func (g *Digraph) CopyFrom(src *Digraph) {
+	if cap(g.out) < src.n {
+		g.out = make([][]Arc, src.n)
+	}
+	g.out = g.out[:src.n]
+	g.n = src.n
+	for u := range src.out {
+		g.out[u] = append(g.out[u][:0], src.out[u]...)
+	}
+}
+
 // WithoutNode returns a copy of the graph with all arcs incident to u
 // removed (the residual graph G−u of the SNS formulation). The node itself
 // remains, isolated, so IDs are stable.

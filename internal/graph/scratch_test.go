@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScratchVariantsMatchAllocatingOnes pins the scratch-based solvers to
+// the original allocating ones, bit for bit, across random graphs and
+// repeated scratch reuse (stale state from a previous run must not leak).
+func TestScratchVariantsMatchAllocatingOnes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s SPScratch
+	var dsp, dwide [][]float64
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, 0.25)
+
+		dsp = APSPInto(g, dsp, &s)
+		want := APSP(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if dsp[u][v] != want[u][v] {
+					t.Fatalf("trial %d: APSPInto[%d][%d] = %v, want %v", trial, u, v, dsp[u][v], want[u][v])
+				}
+			}
+		}
+
+		dwide = APWidestInto(g, dwide, &s)
+		wantW := APWidest(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if dwide[u][v] != wantW[u][v] {
+					t.Fatalf("trial %d: APWidestInto[%d][%d] = %v, want %v", trial, u, v, dwide[u][v], wantW[u][v])
+				}
+			}
+		}
+	}
+}
+
+// TestDistVariantsMatchFullSolvers pins the dist-only single-source runs to
+// the parent-tracking originals.
+func TestDistVariantsMatchFullSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s SPScratch
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, 0.25)
+		src := rng.Intn(n)
+
+		dist := make([]float64, n)
+		s.DijkstraDist(g, src, dist)
+		want, _ := Dijkstra(g, src)
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("trial %d: DijkstraDist[%d] = %v, want %v", trial, v, dist[v], want[v])
+			}
+		}
+
+		width := make([]float64, n)
+		s.WidestDist(g, src, width)
+		wantW, _ := Widest(g, src)
+		for v := range wantW {
+			if width[v] != wantW[v] {
+				t.Fatalf("trial %d: WidestDist[%d] = %v, want %v", trial, v, width[v], wantW[v])
+			}
+		}
+	}
+}
+
+func BenchmarkAPSPInto(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 100, 0.1)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			APSP(g)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var s SPScratch
+		var dst [][]float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = APSPInto(g, dst, &s)
+		}
+	})
+}

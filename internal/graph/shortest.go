@@ -75,22 +75,132 @@ func Widest(g *Digraph, src NodeID) (width []float64, parent []NodeID) {
 // APSP computes all-pairs shortest additive distances by running Dijkstra
 // from every source. The result is indexed [src][dst].
 func APSP(g *Digraph) [][]float64 {
-	n := g.N()
-	d := make([][]float64, n)
-	for u := 0; u < n; u++ {
-		d[u], _ = Dijkstra(g, u)
-	}
-	return d
+	return APSPInto(g, nil, nil)
 }
 
 // APWidest computes all-pairs widest-path values.
 func APWidest(g *Digraph) [][]float64 {
+	return APWidestInto(g, nil, nil)
+}
+
+// APSPInto is APSP with reusable storage: rows of dst are overwritten and
+// returned when dst has the right shape (allocated otherwise), and s, when
+// non-nil, supplies the per-run Dijkstra state. This is the allocation-free
+// hot path of the best-response engine: every re-wiring recomputes a
+// residual all-pairs matrix, and the matrix plus heap would otherwise be
+// reallocated for each of them.
+func APSPInto(g *Digraph, dst [][]float64, s *SPScratch) [][]float64 {
 	n := g.N()
-	w := make([][]float64, n)
-	for u := 0; u < n; u++ {
-		w[u], _ = Widest(g, u)
+	dst = reshape(dst, n)
+	if s == nil {
+		s = &SPScratch{}
 	}
-	return w
+	for u := 0; u < n; u++ {
+		s.DijkstraDist(g, u, dst[u])
+	}
+	return dst
+}
+
+// APWidestInto is APWidest with reusable storage, analogous to APSPInto.
+func APWidestInto(g *Digraph, dst [][]float64, s *SPScratch) [][]float64 {
+	n := g.N()
+	dst = reshape(dst, n)
+	if s == nil {
+		s = &SPScratch{}
+	}
+	for u := 0; u < n; u++ {
+		s.WidestDist(g, u, dst[u])
+	}
+	return dst
+}
+
+// reshape returns dst if it is an n×n matrix, else a freshly allocated one
+// backed by a single contiguous block.
+func reshape(dst [][]float64, n int) [][]float64 {
+	if len(dst) == n && (n == 0 || len(dst[0]) == n) {
+		return dst
+	}
+	flat := make([]float64, n*n)
+	dst = make([][]float64, n)
+	for i := range dst {
+		dst[i] = flat[i*n : (i+1)*n]
+	}
+	return dst
+}
+
+// SPScratch holds the reusable per-run state of the Dijkstra variants: the
+// settled set and the priority-queue backing array. One scratch serves one
+// goroutine; concurrent searches need one scratch each.
+type SPScratch struct {
+	done  []bool
+	items []heapItem
+}
+
+// reset prepares the scratch for a run over n nodes and returns the heap.
+func (s *SPScratch) reset(n int, better func(a, b float64) bool) *nodeHeap {
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+	}
+	s.done = s.done[:n]
+	for i := range s.done {
+		s.done[i] = false
+	}
+	return &nodeHeap{items: s.items[:0], better: better}
+}
+
+// DijkstraDist computes single-source shortest additive distances from src
+// into dist, which must have length g.N(). It is Dijkstra without the
+// parent tracking and without allocations (beyond heap growth on first
+// use).
+func (s *SPScratch) DijkstraDist(g *Digraph, src NodeID, dist []float64) {
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	pq := s.reset(g.N(), func(a, b float64) bool { return a < b })
+	heap.Push(pq, heapItem{node: src, key: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		for _, a := range g.Out(u) {
+			if nd := dist[u] + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				heap.Push(pq, heapItem{node: a.To, key: nd})
+			}
+		}
+	}
+	s.items = pq.items[:0]
+}
+
+// WidestDist computes single-source widest-path values from src into width,
+// which must have length g.N(). It is Widest without the parent tracking
+// and without allocations.
+func (s *SPScratch) WidestDist(g *Digraph, src NodeID, width []float64) {
+	for i := range width {
+		width[i] = 0
+	}
+	width[src] = Inf
+	pq := s.reset(g.N(), func(a, b float64) bool { return a > b })
+	heap.Push(pq, heapItem{node: src, key: Inf})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		for _, a := range g.Out(u) {
+			if nw := math.Min(width[u], a.W); nw > width[a.To] {
+				width[a.To] = nw
+				heap.Push(pq, heapItem{node: a.To, key: nw})
+			}
+		}
+	}
+	s.items = pq.items[:0]
 }
 
 // PathTo reconstructs the path from the source used to build parent up to

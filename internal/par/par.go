@@ -1,0 +1,77 @@
+// Package par provides the deterministic worker pool shared by the
+// simulator and the experiment harness. Work items are independent and
+// identified by index; callers merge results by writing each item's output
+// into its own slot, so the outcome is identical for any worker count —
+// parallelism changes wall-clock time, never results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a workers knob: values <= 0 select runtime.NumCPU().
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// Do runs fn(worker, i) for every i in [0, n), distributing items over up
+// to workers goroutines. The worker argument is a dense id in [0, W) that
+// lets callers maintain per-worker scratch state; each worker processes
+// items one at a time, so fn invocations sharing a worker id never overlap.
+// With workers <= 1 (or a single item) everything runs inline on the
+// calling goroutine. Do returns when all items are done.
+func Do(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for worker := 0; worker < w; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// DoErr runs fn(worker, i) like Do and returns the error of the
+// lowest-indexed item that failed (deterministic regardless of scheduling),
+// or nil if every item succeeded. All items run even when some fail.
+func DoErr(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Do(n, workers, func(worker, i int) {
+		errs[i] = fn(worker, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToNumCPU(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want %d", got, runtime.NumCPU())
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestDoCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 137
+			var counts [n]atomic.Int64
+			Do(n, workers, func(worker, i int) {
+				counts[i].Add(1)
+			})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("item %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestDoWorkerIDsAreDense(t *testing.T) {
+	const n, workers = 64, 4
+	var seen [workers]atomic.Int64
+	Do(n, workers, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker id %d outside [0,%d)", worker, workers)
+			return
+		}
+		seen[worker].Add(1)
+	})
+	total := int64(0)
+	for w := range seen {
+		total += seen[w].Load()
+	}
+	if total != n {
+		t.Fatalf("items processed = %d, want %d", total, n)
+	}
+}
+
+// TestDoPerWorkerStateIsUnshared drives per-worker accumulators the way the
+// simulator uses per-worker scratch buffers: fn invocations with the same
+// worker id must never overlap, so unsynchronized per-worker state is safe.
+// Run under -race this is the pool's core safety property.
+func TestDoPerWorkerStateIsUnshared(t *testing.T) {
+	const n, workers = 500, 8
+	scratch := make([][]int, workers)
+	Do(n, workers, func(worker, i int) {
+		scratch[worker] = append(scratch[worker], i)
+	})
+	total := 0
+	for _, s := range scratch {
+		total += len(s)
+	}
+	if total != n {
+		t.Fatalf("items recorded = %d, want %d", total, n)
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	Do(0, 4, func(worker, i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestDoErrReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := DoErr(10, workers, func(worker, i int) error {
+			switch i {
+			case 3:
+				return errB
+			case 7:
+				return errA
+			}
+			return nil
+		})
+		if err != errB {
+			t.Fatalf("workers=%d: err = %v, want %v (lowest index wins)", workers, err, errB)
+		}
+	}
+	if err := DoErr(10, 4, func(worker, i int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

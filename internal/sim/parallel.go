@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math/rand"
+
+	"egoist/internal/core"
+	"egoist/internal/measure"
+	"egoist/internal/par"
+)
+
+// This file implements the parallel best-response phase of the epoch loop
+// as optimistic concurrency over the paper's staggered (one node after
+// another) re-wiring semantics.
+//
+// At the epoch boundary every node's best response is speculatively
+// computed against the announced link-state snapshot, fanned out over a
+// worker pool (Config.Workers); per-node best responses share no mutable
+// state, so the phase parallelizes perfectly. Adoption then replays the
+// stagger order sequentially. A node's speculative proposal is used only
+// while the announced view is still exactly the snapshot — i.e. no earlier
+// node re-wired, churned, or had its wiring repaired this epoch. The first
+// such change marks the epoch dirty and every later node falls back to the
+// sequential re-wiring path against the live view.
+//
+// Because a clean slot sees inputs identical to the snapshot and policy
+// randomness is a pure function of (seed, epoch, node), the speculative
+// result equals what the sequential engine would compute at that slot:
+// results are byte-identical for any worker count, including Workers: 1
+// (which skips speculation entirely). Best-response dynamics converge, so
+// in the common steady-state epoch no node re-wires and the whole epoch's
+// solver work runs parallel; transient epochs degrade gracefully toward
+// the sequential engine.
+
+// proposal is one node's speculative phase-1 output: the proposed wiring,
+// the wiring the node held at snapshot time, and — for BR policies — the
+// BR(ε) adoption-test values evaluated on the snapshot residual matrix.
+type proposal struct {
+	set     []int // proposed wiring (nil: not computed, node was inactive)
+	wiring0 []int // node's wiring at snapshot time
+	hasEval bool
+	curVal  float64 // objective of wiring0 on the snapshot view
+	newVal  float64 // objective of set on the snapshot view
+}
+
+// computeProposals runs the speculative best-response phase for one epoch
+// and returns one proposal per node (set == nil for inactive nodes). With
+// an effective worker count of 1 it returns nil: speculation would only
+// duplicate the sequential work it is meant to hide. It also resets the
+// epoch's dirty flag for the adoption phase.
+func (st *state) computeProposals(epoch int) ([]proposal, error) {
+	st.epochDirty = false
+	if par.Workers(st.cfg.Workers) <= 1 {
+		return nil, nil
+	}
+	n := st.cfg.N
+	kind := st.cfg.Metric.Kind()
+	g := st.announcedGraph()
+	active := append([]bool(nil), st.active...)
+	props := make([]proposal, n)
+
+	_, isBR := st.cfg.Policy.(core.BRPolicy)
+	jobs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if active[i] {
+			jobs = append(jobs, i)
+			if isBR {
+				// Deep copy: EnforceCycle and backbone repair mutate wiring
+				// slices in place mid-epoch, and the clean-slot BR(ε)
+				// values below are only valid for the snapshot wiring.
+				// Only BR policies consume it.
+				props[i].wiring0 = append([]int(nil), st.wiring[i]...)
+			}
+		}
+	}
+	scratches := make([]*core.Scratch, par.Workers(st.cfg.Workers))
+	err := par.DoErr(len(jobs), st.cfg.Workers, func(worker, ji int) error {
+		i := jobs[ji]
+		sc := scratches[worker]
+		if sc == nil {
+			sc = &core.Scratch{}
+			scratches[worker] = sc
+		}
+		req := &core.Request{
+			Self:    i,
+			K:       st.cfg.K,
+			Kind:    kind,
+			Direct:  st.est[i],
+			Graph:   g,
+			Active:  active,
+			Pref:    st.prefRow(i),
+			Rng:     policyRNG(st.cfg.Seed, epoch, i),
+			Scratch: sc,
+		}
+		if isBR {
+			// Compute the residual matrix once; Select and the adoption
+			// test below share it.
+			req.Resid = core.BuildResidScratch(g, i, kind, active, sc)
+		}
+		set, err := st.cfg.Policy.Select(req)
+		if err != nil {
+			return err
+		}
+		props[i].set = set
+		if isBR {
+			inst := &core.Instance{
+				Self: i, Kind: kind, Direct: st.est[i],
+				Resid: req.Resid, Pref: req.Pref,
+			}
+			props[i].curVal = inst.EvalScratch(props[i].wiring0, sc)
+			props[i].newVal = inst.EvalScratch(set, sc)
+			props[i].hasEval = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+// adopt decides node i's re-wiring at its stagger slot. While the epoch is
+// clean the speculative proposal is authoritative and the decision logic
+// mirrors the sequential rewire exactly; once the epoch is dirty (or no
+// proposals were computed) it defers to the sequential path.
+func (st *state) adopt(i, epoch int, prop *proposal, counter func(links int)) error {
+	if prop == nil || prop.set == nil || st.epochDirty {
+		return st.rewire(i, epoch, false, counter)
+	}
+	proposed := prop.set
+	cur := st.wiring[i]
+	adopt := len(cur) == 0
+	if !adopt {
+		// Drop dead neighbors from the current wiring before comparing.
+		// (Links to dead nodes are not announced, so this does not dirty
+		// the epoch for later nodes.)
+		aliveCur := cur[:0:0]
+		for _, v := range cur {
+			if st.active[v] {
+				aliveCur = append(aliveCur, v)
+			}
+		}
+		if len(aliveCur) < len(cur) {
+			cur = aliveCur
+			st.wiring[i] = aliveCur
+			adopt = true // lost links: must re-wire
+		}
+	}
+	if !adopt {
+		switch st.cfg.Policy.(type) {
+		case core.BRPolicy:
+			// BR(ε): adopt only a sufficient improvement, measured on the
+			// node's own announced view — the snapshot, which on a clean
+			// epoch is the live view.
+			adopt = prop.hasEval && core.ShouldRewire(st.cfg.Metric.Kind(), prop.curVal, prop.newVal, st.cfg.Epsilon)
+		case core.KClosest:
+			adopt = true // tracks measurement changes every epoch
+		default:
+			// k-Random / k-Regular / full mesh: wiring is static absent
+			// churn, per the paper's baseline.
+			adopt = false
+		}
+	}
+	if !adopt {
+		return nil
+	}
+	added := measure.LinkDiff(st.wiring[i], proposed)
+	if added > 0 && counter != nil {
+		counter(added)
+	}
+	if added > 0 || len(proposed) != len(st.wiring[i]) {
+		st.wiring[i] = proposed
+		st.epochDirty = true
+	}
+	return nil
+}
+
+// policyRNG derives the deterministic per-(epoch,node) policy randomness.
+// Seeding per node rather than sharing one stream is what makes stochastic
+// policies (k-Random) independent of both the worker count and the order in
+// which the pool happens to schedule nodes.
+func policyRNG(seed int64, epoch, node int) *rand.Rand {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x = splitmix64(x + uint64(int64(epoch))*0xbf58476d1ce4e5b9)
+	x = splitmix64(x + uint64(int64(node))*0x94d049bb133111eb)
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

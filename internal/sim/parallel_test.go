@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"egoist/internal/cheat"
+	"egoist/internal/churn"
+	"egoist/internal/core"
+)
+
+// eqFloat treats NaN as equal to NaN (dead nodes report NaN costs) and is
+// otherwise exact: the engines must agree bit for bit, not approximately.
+func eqFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func eqFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !eqFloat(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// diffResults returns a description of the first field where two Results
+// diverge, or "" when they are byte-identical (modulo NaN == NaN).
+func diffResults(a, b *Result) string {
+	switch {
+	case a.Cost != b.Cost:
+		return fmt.Sprintf("Cost %+v vs %+v", a.Cost, b.Cost)
+	case !eqFloats(a.PerNodeCost, b.PerNodeCost):
+		return fmt.Sprintf("PerNodeCost %v vs %v", a.PerNodeCost, b.PerNodeCost)
+	case a.Efficiency != b.Efficiency:
+		return fmt.Sprintf("Efficiency %+v vs %+v", a.Efficiency, b.Efficiency)
+	case !eqFloats(a.PerNodeEfficiency, b.PerNodeEfficiency):
+		return fmt.Sprintf("PerNodeEfficiency %v vs %v", a.PerNodeEfficiency, b.PerNodeEfficiency)
+	case !reflect.DeepEqual(a.Rewires.PerEpoch(), b.Rewires.PerEpoch()):
+		return fmt.Sprintf("Rewires %v vs %v", a.Rewires.PerEpoch(), b.Rewires.PerEpoch())
+	case !reflect.DeepEqual(a.FinalWiring, b.FinalWiring):
+		return fmt.Sprintf("FinalWiring %v vs %v", a.FinalWiring, b.FinalWiring)
+	case !reflect.DeepEqual(a.ProbeBits, b.ProbeBits):
+		return fmt.Sprintf("ProbeBits %v vs %v", a.ProbeBits, b.ProbeBits)
+	case a.LSABits != b.LSABits:
+		return fmt.Sprintf("LSABits %v vs %v", a.LSABits, b.LSABits)
+	case a.EpochsRun != b.EpochsRun:
+		return fmt.Sprintf("EpochsRun %v vs %v", a.EpochsRun, b.EpochsRun)
+	case a.WeightedCost != b.WeightedCost:
+		return fmt.Sprintf("WeightedCost %+v vs %+v", a.WeightedCost, b.WeightedCost)
+	}
+	return ""
+}
+
+// testChurn builds a small deterministic membership schedule.
+func testChurn(n int) *churn.Schedule {
+	sched, err := churn.GenerateSynthetic(churn.SyntheticConfig{
+		N: n, Horizon: 10,
+		On:   churn.Exponential{Mean: 4},
+		Off:  churn.Exponential{Mean: 1.5},
+		Seed: 19,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// workerDeterminismConfigs spans the policy/metric/feature matrix the
+// engine supports; every entry must produce deep-equal Results at any
+// worker count.
+func workerDeterminismConfigs() map[string]Config {
+	n := 20
+	base := func(p core.Policy) Config {
+		return Config{
+			N: n, K: 3, Seed: 77, Metric: DelayPing, Policy: p,
+			WarmEpochs: 3, MeasureEpochs: 4,
+		}
+	}
+	cfgs := map[string]Config{
+		"BR/delay":       base(core.BRPolicy{}),
+		"BR/epsilon":     base(core.BRPolicy{}),
+		"BR/bandwidth":   base(core.BRPolicy{}),
+		"BR/load":        base(core.BRPolicy{}),
+		"BR/churn":       base(core.BRPolicy{}),
+		"BR/cheat":       base(core.BRPolicy{}),
+		"BR/pref":        base(core.BRPolicy{}),
+		"HybridBR/churn": base(core.BRPolicy{Donated: 2}),
+		"kRandom/cycle":  base(core.KRandom{}),
+		"kClosest/cycle": base(core.KClosest{}),
+		"kRegular":       base(core.KRegular{}),
+		"BR/churn/immed": base(core.BRPolicy{}),
+	}
+	for name, cfg := range cfgs {
+		switch name {
+		case "BR/epsilon":
+			cfg.Epsilon = 0.1
+		case "BR/bandwidth":
+			cfg.Metric = Bandwidth
+		case "BR/load":
+			cfg.Metric = Load
+		case "BR/churn", "HybridBR/churn":
+			cfg.Churn = testChurn(cfg.N)
+		case "BR/churn/immed":
+			cfg.Churn = testChurn(cfg.N)
+			cfg.Immediate = true
+		case "BR/cheat":
+			cfg.Cheat = cheat.Single(cfg.N, 4, 2)
+		case "BR/pref":
+			cfg.Pref = func(i, j int) float64 { return 1 + float64((i+j)%5) }
+		case "kRandom/cycle", "kClosest/cycle":
+			cfg.EnforceCycle = true
+		}
+		cfgs[name] = cfg
+	}
+	return cfgs
+}
+
+// TestWorkerCountDoesNotChangeResults is the engine's core determinism
+// contract: a fixed seed yields deep-equal Results whether the
+// best-response phase runs sequentially (Workers: 1) or speculatively over
+// a pool (Workers: 8). Run with -race this also exercises the pool for
+// data races across the full feature matrix.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	for name, cfg := range workerDeterminismConfigs() {
+		t.Run(name, func(t *testing.T) {
+			seq := cfg
+			seq.Workers = 1
+			par := cfg
+			par.Workers = 8
+			a, err := Run(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffResults(a, b); d != "" {
+				t.Fatalf("Workers 1 vs 8 diverge: %s", d)
+			}
+		})
+	}
+}
+
+// TestIntermediateWorkerCountsAgree pins a few more pool shapes, including
+// the NumCPU default (Workers: 0), against the sequential engine.
+func TestIntermediateWorkerCountsAgree(t *testing.T) {
+	cfg := Config{
+		N: 18, K: 3, Seed: 5, Metric: DelayPing, Policy: core.BRPolicy{},
+		WarmEpochs: 2, MeasureEpochs: 3, Workers: 1,
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 16} {
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffResults(want, got); d != "" {
+			t.Fatalf("Workers %d diverges from sequential: %s", workers, d)
+		}
+	}
+}
+
+// TestSpeculativeProposalsMatchSequentialSlots drives one epoch's proposal
+// phase directly and checks the clean-slot equivalence invariant: with no
+// churn and no prior adoption, the speculative proposal for the first node
+// in stagger order equals what the sequential path computes at its slot.
+func TestSpeculativeProposalsMatchSequentialSlots(t *testing.T) {
+	cfg := Config{
+		N: 16, K: 3, Seed: 9, Metric: DelayPing, Policy: core.BRPolicy{},
+		WarmEpochs: 0, MeasureEpochs: 1, Workers: 4,
+	}
+	st, err := newState(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := st.computeProposals(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props == nil {
+		t.Fatal("no proposals at Workers: 4")
+	}
+	for i := 0; i < cfg.N; i++ {
+		if props[i].set == nil {
+			t.Fatalf("active node %d got no proposal", i)
+		}
+		if !props[i].hasEval {
+			t.Fatalf("BR proposal for node %d lacks adoption-test values", i)
+		}
+		// Recompute sequentially against the (untouched) live view.
+		req := &core.Request{
+			Self: i, K: cfg.K, Kind: cfg.Metric.Kind(), Direct: st.est[i],
+			Graph: st.announcedGraph(), Active: st.active,
+			Rng: policyRNG(cfg.Seed, 0, i),
+		}
+		seq, err := cfg.Policy.Select(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(props[i].set, seq) {
+			t.Fatalf("node %d: speculative %v != sequential %v", i, props[i].set, seq)
+		}
+	}
+}
+
+// equalInts reports element-wise equality of two int slices.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEqualInts(t *testing.T) {
+	if !equalInts(nil, nil) || !equalInts([]int{1, 2}, []int{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if equalInts([]int{1}, []int{2}) || equalInts([]int{1}, []int{1, 2}) {
+		t.Fatal("unequal slices reported equal")
+	}
+}
+
+// TestPolicyRNGIsStable pins the per-(epoch,node) RNG derivation: equal
+// coordinates agree, distinct coordinates draw independently.
+func TestPolicyRNGIsStable(t *testing.T) {
+	a := policyRNG(42, 3, 7).Int63()
+	if b := policyRNG(42, 3, 7).Int63(); a != b {
+		t.Fatalf("same coordinates drew %d and %d", a, b)
+	}
+	seen := map[int64]bool{a: true}
+	for _, coord := range [][2]int{{3, 8}, {4, 7}, {0, 0}, {-1, 7}} {
+		v := policyRNG(42, coord[0], coord[1]).Int63()
+		if seen[v] {
+			t.Fatalf("coordinate %v collides with an earlier stream", coord)
+		}
+		seen[v] = true
+	}
+}

@@ -115,8 +115,16 @@ type Config struct {
 	// p_ij = Pref(i,j) used by the wiring policies. Measurement reporting
 	// stays uniform (the paper's conservative choice, footnote 8), but
 	// Result.WeightedCost additionally reports the preference-weighted
-	// cost.
+	// cost. With Workers > 1, Pref must be safe for concurrent calls.
 	Pref func(i, j int) float64
+	// Workers sets the parallelism of the per-epoch best-response phase:
+	// every node's proposal is computed concurrently against the
+	// epoch-start link-state snapshot by up to Workers goroutines. Zero (or
+	// negative) selects runtime.NumCPU(). Results are byte-identical for
+	// any value — parallelism changes wall-clock time, never measurements.
+	// Custom Policy implementations must be safe for concurrent Select
+	// calls on distinct Requests.
+	Workers int
 }
 
 func (c *Config) validate() error {
@@ -180,6 +188,12 @@ type state struct {
 	est     [][]float64 // est[i][j]: i's current estimate of direct cost i->j
 	churnAt int         // next churn event index
 	order   []int       // staggered re-wire order
+
+	// epochDirty records whether the announced link-state has changed since
+	// the current epoch's proposal snapshot (a node re-wired, membership
+	// changed, a cycle was enforced); once set, adoption falls back to the
+	// sequential re-wiring path (see parallel.go).
+	epochDirty bool
 }
 
 // Run executes one simulation and returns its measurements.
@@ -261,10 +275,11 @@ func newState(cfg Config) (*state, error) {
 	st.order = st.rng.Perm(cfg.N)
 	st.refreshEstimates()
 	// Initial join: every initially-active node wires itself once, in
-	// stagger order, over the growing overlay.
+	// stagger order, over the growing overlay (inherently sequential, so
+	// the join epoch is tagged -1 in the policy-RNG derivation).
 	for _, i := range st.order {
 		if st.active[i] {
-			if err := st.rewire(i, true, nil); err != nil {
+			if err := st.rewire(i, -1, true, nil); err != nil {
 				return nil, err
 			}
 		}
@@ -368,10 +383,13 @@ func (st *state) trueCost(u, v int) float64 {
 	}
 }
 
-// rewire re-evaluates node i's wiring. join indicates a fresh (re)join,
-// which always adopts the proposal. counter, when non-nil, records
-// established links.
-func (st *state) rewire(i int, join bool, counter func(links int)) error {
+// rewire re-evaluates node i's wiring against the current (not snapshot)
+// link-state view — the sequential path used for initial joins, immediate
+// failure repair, and adoption fallback when churn invalidated the node's
+// parallel proposal. join indicates a fresh (re)join, which always adopts
+// the proposal. counter, when non-nil, records established links. epoch
+// seeds the per-(epoch,node) policy RNG (-1 for the initial join).
+func (st *state) rewire(i, epoch int, join bool, counter func(links int)) error {
 	req := &core.Request{
 		Self:   i,
 		K:      st.cfg.K,
@@ -380,7 +398,7 @@ func (st *state) rewire(i int, join bool, counter func(links int)) error {
 		Graph:  st.announcedGraph(),
 		Active: st.active,
 		Pref:   st.prefRow(i),
-		Rng:    st.rng,
+		Rng:    policyRNG(st.cfg.Seed, epoch, i),
 	}
 	proposed, err := st.cfg.Policy.Select(req)
 	if err != nil {
@@ -432,6 +450,7 @@ func (st *state) rewire(i int, join bool, counter func(links int)) error {
 	}
 	if added > 0 || len(proposed) != len(st.wiring[i]) {
 		st.wiring[i] = proposed
+		st.epochDirty = true
 	}
 	return nil
 }
@@ -440,9 +459,11 @@ func (st *state) enforceCycleIfNeeded() {
 	if !st.cfg.EnforceCycle {
 		return
 	}
-	core.EnforceCycle(st.wiring, st.cfg.Metric.Kind(), st.active, func(i, j int) float64 {
+	if core.EnforceCycle(st.wiring, st.cfg.Metric.Kind(), st.active, func(i, j int) float64 {
 		return st.est[i][j]
-	})
+	}) {
+		st.epochDirty = true
+	}
 }
 
 // applyChurn processes all membership events scheduled before time t
@@ -461,6 +482,8 @@ func (st *state) applyChurn(t float64, counter func(links int)) (bool, error) {
 		}
 		st.active[e.Node] = e.On
 		changed = true
+		st.epochDirty = true
+		epoch := int(e.Time) // the wiring epoch the event falls in
 		if e.On {
 			// Re-join: measure candidates, then connect to a single
 			// bootstrap neighbor (Sect. 3.1). The full policy wiring
@@ -487,7 +510,7 @@ func (st *state) applyChurn(t float64, counter func(links int)) (bool, error) {
 					if i == e.Node || !st.active[i] || !hasLink(st.wiring[i], e.Node) {
 						continue
 					}
-					if err := st.rewire(i, false, counter); err != nil {
+					if err := st.rewire(i, epoch, false, counter); err != nil {
 						return changed, err
 					}
 				}
@@ -626,7 +649,15 @@ func (st *state) run() (*Result, error) {
 		st.refreshEstimates()
 		counter := func(links int) { res.Rewires.Record(epoch, links) }
 
-		// Staggered re-wiring: node order[p] acts at time epoch + p/n.
+		// Speculative best-response phase: every node's proposal is
+		// computed concurrently against the epoch-start link-state
+		// snapshot (nil with a single worker; see parallel.go).
+		props, err := st.computeProposals(epoch)
+		if err != nil {
+			return nil, err
+		}
+
+		// Staggered adoption: node order[p] acts at time epoch + p/n.
 		for p, i := range st.order {
 			t := float64(epoch) + float64(p)/float64(cfg.N)
 			if _, err := st.applyChurn(t, counter); err != nil {
@@ -642,7 +673,11 @@ func (st *state) run() (*Result, error) {
 			if !st.active[i] {
 				continue
 			}
-			if err := st.rewire(i, false, counter); err != nil {
+			var prop *proposal
+			if props != nil {
+				prop = &props[i]
+			}
+			if err := st.adopt(i, epoch, prop, counter); err != nil {
 				return nil, err
 			}
 		}
