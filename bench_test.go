@@ -15,6 +15,7 @@ import (
 	"egoist/internal/core"
 	"egoist/internal/experiments"
 	"egoist/internal/graph"
+	"egoist/internal/sampling"
 	"egoist/internal/sim"
 	"egoist/internal/topology"
 	"egoist/internal/underlay"
@@ -168,6 +169,63 @@ func BenchmarkBestResponseParallel(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run(fmt.Sprintf("parallel-%d", runtime.NumCPU()), func(b *testing.B) { run(b, runtime.NumCPU()) })
+}
+
+// BenchmarkResidIncremental contrasts the proposal phase's two
+// residual-matrix strategies at one epoch's scale: a full APSP per node
+// (BuildResidScratch) versus one shortest-path forest repaired
+// per node (SPForest.RemoveOut/RestoreOut, Config.Incremental). Both
+// produce bit-identical matrices; the forest pays one APSP up front and
+// then only the affected-subtree repairs.
+func BenchmarkResidIncremental(b *testing.B) {
+	const n = 192
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, w := range []int{(u + 1) % n, (u + 11) % n, (u + n/3) % n, (u + n/2) % n} {
+			if w != u {
+				g.AddArc(u, w, 1+rng.Float64()*40)
+			}
+		}
+	}
+	b.Run("full-apsp-per-node", func(b *testing.B) {
+		var s core.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < n; u++ {
+				core.BuildResidScratch(g, u, core.Additive, nil, &s)
+			}
+		}
+	})
+	b.Run("forest-repair-per-node", func(b *testing.B) {
+		f := graph.NewSPForest()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Reset(g, false)
+			for u := 0; u < n; u++ {
+				f.RemoveOut(u)
+				_ = f.Dist()
+				f.RestoreOut()
+			}
+		}
+	})
+}
+
+// BenchmarkScaleEpoch measures the large-scale sampled engine at a
+// CI-friendly size: a full convergence-bounded run of sampled best
+// responses over the constant-memory underlay.
+func BenchmarkScaleEpoch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.RunScale(sim.ScaleConfig{
+			N: 400, K: 4, Seed: 7,
+			Sample:    sampling.Spec{Strategy: sampling.Demand, M: 40},
+			MaxEpochs: 3, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- ablation benches (DESIGN.md §5) ---------------------------------------

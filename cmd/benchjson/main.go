@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_*.json artifact schema ({name, ns_per_op, allocs_per_op, n})
+// and optionally gates the build against a committed baseline: any
+// gated benchmark whose best-of ns/op regresses beyond the threshold
+// fails the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 . | \
+//	    benchjson -out BENCH_go.json \
+//	              -baseline ci/bench_baseline.json \
+//	              -gate '^BenchmarkBestResponseScratch/scratch' \
+//	              -threshold 1.25
+//
+// Repeated runs of the same benchmark (-count) are merged by taking the
+// minimum ns/op — the least-noise estimate of the code's speed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+
+	"egoist/internal/experiments"
+)
+
+// benchLine matches one benchmark result line. The -N GOMAXPROCS
+// suffix is stripped so baselines are portable across runner shapes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) ([]experiments.BenchRecord, error) {
+	best := map[string]experiments.BenchRecord{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		allocs := 0.0
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		rec := experiments.BenchRecord{Name: m[1], NsPerOp: ns, AllocsPerOp: allocs, N: n}
+		if prev, ok := best[m[1]]; !ok {
+			best[m[1]] = rec
+			order = append(order, m[1])
+		} else if rec.NsPerOp < prev.NsPerOp {
+			best[m[1]] = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]experiments.BenchRecord, 0, len(order))
+	for _, name := range order {
+		out = append(out, best[name])
+	}
+	return out, nil
+}
+
+// gate compares current records against the baseline for names matching
+// re and returns the list of regressions beyond threshold, plus how
+// many current records the gate actually covered (zero means the gate
+// is a no-op — the caller must treat that as an error, or a renamed
+// benchmark silently disables the regression check forever).
+func gate(cur, base []experiments.BenchRecord, re *regexp.Regexp, threshold float64) (regressions, missing []string, matched int) {
+	baseBy := map[string]experiments.BenchRecord{}
+	for _, b := range base {
+		baseBy[b.Name] = b
+	}
+	for _, c := range cur {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		matched++
+		b, ok := baseBy[c.Name]
+		if !ok {
+			missing = append(missing, c.Name)
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*threshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > %.2fx allowed)",
+				c.Name, c.NsPerOp, b.NsPerOp, c.NsPerOp/b.NsPerOp, threshold))
+		}
+	}
+	return regressions, missing, matched
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output to read ('-' = stdin)")
+		out       = flag.String("out", "", "write parsed records to this JSON file")
+		baseline  = flag.String("baseline", "", "baseline JSON file to gate against")
+		gateRe    = flag.String("gate", "", "regexp of benchmark names the gate applies to")
+		threshold = flag.Float64("threshold", 1.25, "allowed ns/op ratio vs baseline before failing")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+	recs, err := parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := experiments.WriteBenchJSON(*out, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchjson: wrote %d records to %s\n", len(recs), *out)
+	}
+	if *baseline != "" && *gateRe != "" {
+		re, err := regexp.Compile(*gateRe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+			os.Exit(2)
+		}
+		base, err := experiments.ReadBenchJSON(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		regressions, missing, matched := gate(recs, base, re, *threshold)
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -gate %q matched no benchmark in the input — the gate would be a no-op\n", *gateRe)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Printf("benchjson: note: %s has no baseline entry (add it to %s)\n", m, *baseline)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: gate passed (%s matched %d, %.2fx)\n", *gateRe, matched, *threshold)
+	}
+}

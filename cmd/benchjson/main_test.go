@@ -1,0 +1,74 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"egoist/internal/experiments"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: egoist
+BenchmarkBestResponseScratch/alloc-4         	       3	   1200000 ns/op	     200 B/op	      21 allocs/op
+BenchmarkBestResponseScratch/scratch-4       	       3	   1000000 ns/op	      48 B/op	       1 allocs/op
+BenchmarkBestResponseScratch/scratch-4       	       3	    900000 ns/op	      48 B/op	       1 allocs/op
+BenchmarkBestResponseScratch/scratch-4       	       3	    950000 ns/op	      48 B/op	       1 allocs/op
+BenchmarkAPSPInto-4                          	      10	    500000 ns/op
+PASS
+`
+
+func TestParseMergesCountsAndStripsSuffix(t *testing.T) {
+	recs, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]experiments.BenchRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	sc, ok := byName["BenchmarkBestResponseScratch/scratch"]
+	if !ok {
+		t.Fatalf("scratch record missing: %+v", recs)
+	}
+	if sc.NsPerOp != 900000 {
+		t.Errorf("want best-of ns/op 900000, got %f", sc.NsPerOp)
+	}
+	if sc.AllocsPerOp != 1 {
+		t.Errorf("want 1 alloc/op, got %f", sc.AllocsPerOp)
+	}
+	if r := byName["BenchmarkAPSPInto"]; r.NsPerOp != 500000 || r.AllocsPerOp != 0 {
+		t.Errorf("APSPInto parsed wrong: %+v", r)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := []experiments.BenchRecord{
+		{Name: "BenchmarkBestResponseScratch/scratch", NsPerOp: 1000},
+	}
+	re := regexp.MustCompile(`^BenchmarkBestResponseScratch/scratch$`)
+	pass, _, matched := gate([]experiments.BenchRecord{
+		{Name: "BenchmarkBestResponseScratch/scratch", NsPerOp: 1200},
+	}, base, re, 1.25)
+	if len(pass) != 0 || matched != 1 {
+		t.Errorf("1.2x should pass a 1.25x gate: %v (matched %d)", pass, matched)
+	}
+	fail, _, _ := gate([]experiments.BenchRecord{
+		{Name: "BenchmarkBestResponseScratch/scratch", NsPerOp: 2000},
+	}, base, re, 1.25)
+	if len(fail) != 1 {
+		t.Errorf("2x should fail a 1.25x gate: %v", fail)
+	}
+	_, missing, _ := gate([]experiments.BenchRecord{
+		{Name: "BenchmarkBestResponseScratch/other", NsPerOp: 10},
+	}, base, regexp.MustCompile(`^BenchmarkBestResponseScratch/`), 1.25)
+	if len(missing) != 1 {
+		t.Errorf("missing baseline entries should be reported: %v", missing)
+	}
+	if _, _, matched := gate([]experiments.BenchRecord{
+		{Name: "BenchmarkRenamed", NsPerOp: 10},
+	}, base, re, 1.25); matched != 0 {
+		t.Errorf("renamed benchmark should match nothing, got %d", matched)
+	}
+}

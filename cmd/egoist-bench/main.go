@@ -7,6 +7,11 @@
 //	egoist-bench -fig 1a              # one figure, paper-scale
 //	egoist-bench -fig all -scale quick
 //	egoist-bench -list
+//	egoist-bench -scale 10000 -sample demand:500 -bench-json BENCH_scale.json
+//
+// The last form runs the large-scale sampled simulation engine (a
+// single convergence run of n nodes, sampled best responses) and writes
+// the machine-readable benchmark record CI uploads as an artifact.
 //
 // See DESIGN.md §4 for the figure index and EXPERIMENTS.md for recorded
 // output.
@@ -17,10 +22,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"egoist/internal/experiments"
+	"egoist/internal/sampling"
+	"egoist/internal/sim"
 )
+
+// parsePositiveInt parses s as a positive integer (an overlay size for
+// the large-scale mode), rejecting the named scales and any trailing
+// garbage.
+func parsePositiveInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("not positive: %d", n)
+	}
+	return n, nil
+}
 
 // writeSVG renders one figure to dir/fig-<id>.svg.
 func writeSVG(dir string, fig *experiments.Figure) error {
@@ -35,17 +57,67 @@ func writeSVG(dir string, fig *experiments.Figure) error {
 	return experiments.RenderSVG(f, fig)
 }
 
+// runScaleMode executes one large-scale convergence run and optionally
+// writes its BENCH_scale.json record.
+func runScaleMode(n int, sampleSpec string, epochs, k, workers int, benchJSON string) {
+	spec, err := sampling.ParseSpec(sampleSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if k <= 0 {
+		k = 8
+		if n < 1000 {
+			k = 4
+		}
+	}
+	cfg := sim.ScaleConfig{
+		N: n, K: k, Seed: 2008, Sample: spec,
+		MaxEpochs: epochs, Workers: workers,
+	}
+	start := time.Now()
+	res, rec, err := experiments.MeasureScale(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egoist-bench: scale run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scale run: n=%d k=%d sample=%v workers=%d\n", n, k, spec, workers)
+	fmt.Printf("%-7s %9s %14s %14s %6s %9s\n", "epoch", "rewires", "est cost", "95% band", "pool", "wall")
+	for e, ep := range res.PerEpoch {
+		fmt.Printf("%-7d %9d %14.1f %14.1f %6d %8.1fs\n",
+			e, ep.Rewires, ep.MeanEstCost, ep.MeanBand, ep.PoolSize, float64(ep.WallNS)/1e9)
+	}
+	fmt.Printf("converged=%v epochs=%d meanSample=%.1f total=%v\n",
+		res.Converged, res.Epochs, res.MeanSampleSize, time.Since(start).Round(time.Millisecond))
+	if benchJSON != "" {
+		if err := experiments.WriteBenchJSON(benchJSON, []experiments.BenchRecord{rec}); err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", benchJSON)
+	}
+}
+
 func main() {
 	var (
-		figID   = flag.String("fig", "all", "figure id to regenerate (see -list), or 'all'")
-		scale   = flag.String("scale", "full", "experiment scale: full (paper dimensions) or quick")
-		list    = flag.Bool("list", false, "list available figure ids and exit")
-		maxRows = flag.Int("rows", 30, "max table rows per figure (time series are downsampled)")
-		svgDir  = flag.String("svg", "", "also write one SVG plot per figure into this directory")
-		workers = flag.Int("workers", 0, "concurrent simulations per figure sweep (0 = NumCPU, 1 = sequential; identical output either way)")
+		figID     = flag.String("fig", "all", "figure id to regenerate (see -list), or 'all'")
+		scale     = flag.String("scale", "full", "experiment scale: full (paper dimensions) or quick — or an overlay size n (e.g. 10000) to run the large-scale sampled engine instead of figures")
+		list      = flag.Bool("list", false, "list available figure ids and exit")
+		maxRows   = flag.Int("rows", 30, "max table rows per figure (time series are downsampled)")
+		svgDir    = flag.String("svg", "", "also write one SVG plot per figure into this directory")
+		workers   = flag.Int("workers", 0, "concurrent simulations per figure sweep (0 = NumCPU, 1 = sequential; identical output either way)")
+		sample    = flag.String("sample", "demand:500", "sampling spec for the large-scale engine: strategy:m (uniform, demand, strat)")
+		epochs    = flag.Int("epochs", 0, "epoch cap for the large-scale engine (0 = engine default)")
+		kFlag     = flag.Int("k", 0, "degree budget for the large-scale engine (0 = size default)")
+		benchJSON = flag.String("bench-json", "", "write BENCH_scale.json-style records to this path (scale runs and -fig scale)")
 	)
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+
+	if n, err := parsePositiveInt(*scale); err == nil {
+		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *benchJSON)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -75,7 +147,17 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		fig, err := runner(sc)
+		var fig *experiments.Figure
+		var err error
+		if id == "scale" && *benchJSON != "" {
+			var recs []experiments.BenchRecord
+			fig, recs, err = experiments.ScaleSweepRecords(sc)
+			if err == nil {
+				err = experiments.WriteBenchJSON(*benchJSON, recs)
+			}
+		} else {
+			fig, err = runner(sc)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "egoist-bench: figure %s: %v\n", id, err)
 			os.Exit(1)

@@ -174,7 +174,9 @@ type Instance struct {
 	// Resid[w][j] is the cost from w to j over the residual graph G−Self:
 	// all-pairs shortest-path costs for Additive, all-pairs widest-path
 	// values for Bottleneck. Resid[w][w] must be 0 (Additive) or +Inf
-	// (Bottleneck).
+	// (Bottleneck). Rows of nodes that can never be facilities (outside
+	// Candidates, Fixed and any evaluated wiring) may be nil — the scale
+	// engine populates only the rows its pool provides.
 	Resid [][]float64
 	// Candidates are the nodes Self may link to. Nil means every node
 	// except Self. Sampling policies (Sect. 5) restrict this set.
@@ -282,7 +284,7 @@ func (in *Instance) Validate() error {
 		return fmt.Errorf("core: Resid has %d rows, want %d", len(in.Resid), n)
 	}
 	for w, row := range in.Resid {
-		if len(row) != n {
+		if row != nil && len(row) != n {
 			return fmt.Errorf("core: Resid row %d has %d cols, want %d", w, len(row), n)
 		}
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"egoist/internal/sampling"
+)
+
+// This file is the sampled best-response solver of the large-scale
+// simulation mode: the node solves the SNS game against a weighted
+// destination sample instead of the full roster (the scaled-input
+// formulation of Sect. 5, generalized from the newcomer experiments to
+// every node's periodic re-wiring). The sample's inverse-probability
+// weights are folded into the preference vector, so the solver's
+// objective is by construction the Horvitz–Thompson estimate of the
+// full-roster cost — unbiased for any fixed wiring — and the companion
+// estimator reports the 95% confidence band the adoption tests and the
+// accuracy property tests consume.
+
+// sampledInstance derives the weighted sampled instance from in: the
+// objective runs over the sampled destinations with pref·invProb
+// weights. Candidates are left as in's (the caller restricts them when
+// the candidate set is sampled too). The weight vector lives in s when
+// one is supplied, keeping the scale engine's hot path allocation-free.
+func sampledInstance(in *Instance, ds *sampling.DestSample, s *Scratch) *Instance {
+	var w []float64
+	if s != nil {
+		s.prefW = floats(s.prefW, in.n())
+		w = s.prefW
+	} else {
+		w = make([]float64, in.n())
+	}
+	for i, j := range ds.Dests {
+		w[j] = in.pref(j) * ds.InvProb[i]
+	}
+	out := *in
+	out.Dests = ds.Dests
+	out.Pref = w
+	return &out
+}
+
+// BestResponseSampled solves the best-response problem against the
+// destination sample ds: the solver sees only the sampled destinations,
+// weighted so its objective estimates the full-roster cost without bias.
+// It returns the chosen wiring and the estimate of the chosen wiring's
+// full-roster objective, with its 95% confidence band.
+//
+// The returned estimate is computed on the optimization sample, so it is
+// optimistically biased for the chosen wiring (the wiring was picked to
+// minimize exactly this estimate). Paired comparisons on the same sample
+// — the BR(ε) adoption test — are unaffected, but an honest standalone
+// cost estimate needs a fresh draw: re-evaluate with EvalSampled on an
+// independent sample, as the accuracy property tests do.
+//
+// The instance's Candidates field governs which facilities may be wired;
+// pass ds.Dests (or a superset including the current wiring) for the
+// fully sampled game.
+func BestResponseSampled(in *Instance, k int, ds *sampling.DestSample, opts BROptions, s *Scratch) ([]int, sampling.Estimate, error) {
+	if ds == nil || len(ds.Dests) == 0 {
+		return nil, sampling.Estimate{}, fmt.Errorf("core: empty destination sample")
+	}
+	sin := sampledInstance(in, ds, s)
+	chosen, _, err := BestResponseScratch(sin, k, opts, s)
+	if err != nil {
+		return nil, sampling.Estimate{}, err
+	}
+	return chosen, EvalSampled(in, chosen, ds, s), nil
+}
+
+// EvalSampled estimates the full-roster objective of wiring chosen from
+// the destination sample ds: the Horvitz–Thompson expansion of the
+// per-destination weighted costs, with its 95% band. For AggSum the
+// estimate is unbiased for Eval's full-roster value of the same wiring.
+func EvalSampled(in *Instance, chosen []int, ds *sampling.DestSample, s *Scratch) sampling.Estimate {
+	var best []float64
+	if s != nil {
+		s.best = floats(s.best, in.n())
+		best = s.best
+	} else {
+		best = make([]float64, in.n())
+	}
+	in.bestPerDestInto(chosen, best)
+	return ds.Estimate(func(j int) float64 {
+		return in.pref(j) * in.Kind.finalize(best[j])
+	})
+}

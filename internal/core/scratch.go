@@ -21,6 +21,7 @@ type Scratch struct {
 	used    []bool    // membership set (greedy, local search)
 	candBuf []int     // materialized candidate list
 	destBuf []int     // materialized destination list
+	prefW   []float64 // weighted preference vector (BestResponseSampled)
 
 	// Swap-evaluation caches of localSearch, indexed positionally by dests.
 	sw1W []int

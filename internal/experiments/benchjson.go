@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchRecord is one machine-readable benchmark measurement — the
+// shared schema of every BENCH_*.json artifact the CI pipeline uploads
+// (Go benchmark conversions from cmd/benchjson and scale-engine
+// measurements from cmd/egoist-bench alike).
+type BenchRecord struct {
+	// Name identifies the measurement, e.g.
+	// "BenchmarkBestResponseScratch/scratch" or "scale/n=10000/demand:500".
+	Name string `json:"name"`
+	// NsPerOp is nanoseconds per operation (per benchmark iteration, or
+	// per simulated epoch for scale records).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation (0 when not
+	// measured).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// N is the iteration count behind the measurement (benchmark b.N,
+	// or epochs run for scale records).
+	N int `json:"n"`
+}
+
+// WriteBenchJSON writes records to path as a sorted, indented JSON
+// array.
+func WriteBenchJSON(path string, recs []BenchRecord) error {
+	out := append([]BenchRecord(nil), recs...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON reads a BENCH_*.json file back.
+func ReadBenchJSON(path string) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"egoist/internal/sampling"
+	"egoist/internal/sim"
+)
+
+// TestMeasureScale checks the scale-run measurement produces a sane
+// benchmark record.
+func TestMeasureScale(t *testing.T) {
+	res, rec, err := MeasureScale(sim.ScaleConfig{
+		N: 150, K: 3, Seed: 1,
+		Sample:    sampling.Spec{Strategy: sampling.Demand, M: 30},
+		MaxEpochs: 2, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 || rec.N != res.Epochs {
+		t.Fatalf("record N %d vs epochs %d", rec.N, res.Epochs)
+	}
+	if rec.NsPerOp <= 0 {
+		t.Fatalf("non-positive ns/op: %f", rec.NsPerOp)
+	}
+	if rec.Name != "scale/n=150/demand:30" {
+		t.Fatalf("unexpected record name %q", rec.Name)
+	}
+}
+
+// TestBenchJSONRoundTrip checks the artifact write/read cycle.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := []BenchRecord{
+		{Name: "b/two", NsPerOp: 2, AllocsPerOp: 1, N: 3},
+		{Name: "a/one", NsPerOp: 1, N: 9},
+	}
+	if err := WriteBenchJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "a/one" || out[1].NsPerOp != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	data, _ := os.ReadFile(path)
+	for _, key := range []string{`"name"`, `"ns_per_op"`, `"allocs_per_op"`, `"n"`} {
+		if !contains(string(data), key) {
+			t.Fatalf("artifact missing %s: %s", key, data)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFigScaleGapQuick runs the gap figure at quick scale and checks the
+// sampled curves stay within a sane factor of the full-roster baseline.
+func TestFigScaleGapQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run figure")
+	}
+	fig, err := FigScaleGap(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 strategy series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.Err) != len(s.Y) {
+			t.Fatalf("series %s malformed", s.Label)
+		}
+		last := s.Y[len(s.Y)-1] // largest sample size: closest to full
+		if last > 10 {
+			t.Errorf("series %s: gap ratio %f at m=%v — sampled dynamics diverged", s.Label, last, s.X[len(s.X)-1])
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"egoist/internal/par"
+)
+
+// DynamicRows maintains exact single-source shortest-path distance rows
+// from a fixed set of source nodes over a graph that evolves by
+// whole-out-set replacements (a node re-wiring its overlay links) —
+// the workhorse behind the scale engine's facility directory. A full
+// rebuild runs one Dijkstra per source; Apply then repairs each row
+// incrementally after a batch of re-wirings: rows whose shortest-path
+// tree never used a changed node are verified untouched in O(k) per
+// edit, and affected rows recompute only the invalidated subtrees plus
+// an insertion relaxation — cost proportional to the churn, not to
+// |sources|·n. Arc weights must be stable per (u,v) pair (the scale
+// engine's delays are static); only the arc sets change.
+//
+// Repaired distances are exactly the distances a fresh Dijkstra on the
+// edited graph would produce (same left-to-right per-path folds, same
+// minima), so callers can treat rows as always-fresh.
+type DynamicRows struct {
+	g       *Digraph
+	rev     [][]Arc // reverse adjacency: rev[v] lists arcs u->v as {To: u, W: w}
+	sources []int
+	slot    []int32 // node id -> row index, -1 when absent
+	dist    [][]float64
+	parent  [][]int32
+	workers int
+
+	scratch []*dynScratch
+	edits   []dynEdit
+}
+
+// dynEdit is one node's out-set replacement with its prior arcs.
+type dynEdit struct {
+	node   int
+	old    []Arc
+	newOut []Arc
+}
+
+// dynScratch is one worker's repair state.
+type dynScratch struct {
+	childHead []int32
+	childNext []int32
+	queue     []int32
+	oldDist   []float64
+	affected  []bool
+	heap      dheap
+}
+
+// RowEdit is one node's new out-arc set for Apply.
+type RowEdit struct {
+	Node   NodeID
+	NewOut []Arc
+}
+
+// NewDynamicRows returns an empty row set; call Reset before use.
+func NewDynamicRows() *DynamicRows { return &DynamicRows{} }
+
+// Graph exposes the maintained graph. Callers may read it (e.g. run
+// their own searches) between Reset/Apply calls but must not mutate it.
+func (r *DynamicRows) Graph() *Digraph { return r.g }
+
+// Sources returns the current source set (aliased; do not modify).
+func (r *DynamicRows) Sources() []int { return r.sources }
+
+// Row returns the distance row of node v, or nil if v is not a source.
+// The row is valid until the next Reset/Apply.
+func (r *DynamicRows) Row(v NodeID) []float64 {
+	if s := r.slot[v]; s >= 0 {
+		return r.dist[s]
+	}
+	return nil
+}
+
+// RowAt returns the i-th source's distance row.
+func (r *DynamicRows) RowAt(i int) []float64 { return r.dist[i] }
+
+// Reset rebuilds everything: graph copy, reverse adjacency, and one
+// full Dijkstra row per source, fanned out over workers (0 = NumCPU).
+func (r *DynamicRows) Reset(g *Digraph, sources []int, workers int) {
+	n := g.N()
+	if r.g == nil {
+		r.g = New(n)
+	}
+	r.g.CopyFrom(g)
+	r.workers = par.Workers(workers)
+	if cap(r.rev) < n {
+		r.rev = make([][]Arc, n)
+	}
+	r.rev = r.rev[:n]
+	for v := range r.rev {
+		r.rev[v] = r.rev[v][:0]
+	}
+	for u := 0; u < n; u++ {
+		for _, a := range r.g.Out(u) {
+			r.rev[a.To] = append(r.rev[a.To], Arc{To: u, W: a.W})
+		}
+	}
+	if cap(r.slot) < n {
+		r.slot = make([]int32, n)
+	}
+	r.slot = r.slot[:n]
+	for v := range r.slot {
+		r.slot[v] = -1
+	}
+	r.sources = append(r.sources[:0], sources...)
+	for i, s := range r.sources {
+		r.slot[s] = int32(i)
+	}
+	if cap(r.dist) < len(sources) {
+		r.dist = make([][]float64, len(sources))
+		r.parent = make([][]int32, len(sources))
+	}
+	r.dist = r.dist[:len(sources)]
+	r.parent = r.parent[:len(sources)]
+	if len(r.scratch) < r.workers {
+		r.scratch = make([]*dynScratch, r.workers)
+	}
+	par.Do(len(sources), r.workers, func(worker, i int) {
+		if r.dist[i] == nil || len(r.dist[i]) != n {
+			r.dist[i] = make([]float64, n)
+			r.parent[i] = make([]int32, n)
+		}
+		r.fullRow(i)
+	})
+}
+
+// fullRow runs a fresh Dijkstra with parent tracking for row i.
+func (r *DynamicRows) fullRow(i int) {
+	dist, parent := r.dist[i], r.parent[i]
+	for v := range dist {
+		dist[v] = Inf
+		parent[v] = -1
+	}
+	src := r.sources[i]
+	dist[src] = 0
+	h := dheap{}
+	h.pushMin(src, 0)
+	for len(h.items) > 0 {
+		it := h.popMin()
+		u := it.node
+		if it.key != dist[u] {
+			continue
+		}
+		for _, a := range r.g.Out(u) {
+			if nd := it.key + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = int32(u)
+				h.pushMin(a.To, nd)
+			}
+		}
+	}
+}
+
+// Apply replaces the out-arc sets of the edited nodes and repairs every
+// row. Edits take effect atomically: all rows see all edits.
+func (r *DynamicRows) Apply(edits []RowEdit) {
+	if len(edits) == 0 {
+		return
+	}
+	r.edits = r.edits[:0]
+	for _, e := range edits {
+		de := dynEdit{node: e.Node}
+		de.old = append([]Arc(nil), r.g.Out(e.Node)...)
+		de.newOut = append([]Arc(nil), e.NewOut...)
+		r.edits = append(r.edits, de)
+		// Update the graph and the reverse adjacency.
+		for _, a := range de.old {
+			r.removeRev(a.To, e.Node)
+		}
+		r.g.ClearOut(e.Node)
+		for _, a := range de.newOut {
+			r.g.AddArc(e.Node, a.To, a.W)
+			r.rev[a.To] = append(r.rev[a.To], Arc{To: e.Node, W: a.W})
+		}
+	}
+	par.Do(len(r.sources), r.workers, func(worker, i int) {
+		sc := r.scratch[worker]
+		if sc == nil {
+			sc = &dynScratch{}
+			r.scratch[worker] = sc
+		}
+		r.repairRow(i, sc)
+	})
+}
+
+// removeRev deletes the reverse-adjacency entry v <- u.
+func (r *DynamicRows) removeRev(v, u int) {
+	list := r.rev[v]
+	for x := range list {
+		if list[x].To == u {
+			list[x] = list[len(list)-1]
+			r.rev[v] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+// stillHas reports whether the edit's new out-set keeps an arc to v.
+func (e *dynEdit) stillHas(v int) bool {
+	for _, a := range e.newOut {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// repairRow fixes row i after the recorded edits: subtree invalidation
+// and boundary re-relaxation for removed tree arcs, then a global
+// insertion relaxation for the added arcs.
+func (r *DynamicRows) repairRow(i int, sc *dynScratch) {
+	n := r.g.N()
+	dist, parent := r.dist[i], r.parent[i]
+
+	// Cut roots: former tree children of an edited node that lost their
+	// tree arc. The queue is deduplicated via the affected marks so the
+	// old-value bookkeeping below is exact.
+	if cap(sc.affected) < n {
+		sc.childHead = make([]int32, n)
+		sc.childNext = make([]int32, n)
+		sc.affected = make([]bool, n)
+	}
+	sc.affected = sc.affected[:n]
+	sc.queue = sc.queue[:0]
+	for ei := range r.edits {
+		e := &r.edits[ei]
+		for _, a := range e.old {
+			if parent[a.To] == int32(e.node) && !e.stillHas(a.To) && !sc.affected[a.To] {
+				sc.affected[a.To] = true
+				sc.queue = append(sc.queue, int32(a.To))
+			}
+		}
+	}
+	if len(sc.queue) > 0 {
+		// Collect descendants via one child-list pass.
+		sc.childHead = sc.childHead[:n]
+		sc.childNext = sc.childNext[:n]
+		for v := range sc.childHead {
+			sc.childHead[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			if p := parent[v]; p >= 0 {
+				sc.childNext[v] = sc.childHead[p]
+				sc.childHead[p] = int32(v)
+			}
+		}
+		for qi := 0; qi < len(sc.queue); qi++ {
+			v := sc.queue[qi]
+			for c := sc.childHead[v]; c >= 0; c = sc.childNext[c] {
+				if !sc.affected[c] {
+					sc.affected[c] = true
+					sc.queue = append(sc.queue, c)
+				}
+			}
+		}
+		sc.oldDist = sc.oldDist[:0]
+		for _, v := range sc.queue {
+			sc.oldDist = append(sc.oldDist, dist[v])
+			dist[v] = Inf
+			parent[v] = -1
+		}
+		// Boundary seeding via the reverse adjacency, then a Dijkstra
+		// restricted to the affected region.
+		h := &sc.heap
+		h.items = h.items[:0]
+		for _, v := range sc.queue {
+			for _, a := range r.rev[v] {
+				x := a.To
+				if sc.affected[x] || dist[x] >= Inf {
+					continue
+				}
+				if nd := dist[x] + a.W; nd < dist[v] {
+					dist[v] = nd
+					parent[v] = int32(x)
+					h.pushMin(int(v), nd)
+				}
+			}
+		}
+		for len(h.items) > 0 {
+			it := h.popMin()
+			u := it.node
+			if it.key != dist[u] {
+				continue
+			}
+			for _, a := range r.g.Out(u) {
+				if !sc.affected[a.To] {
+					continue
+				}
+				if nd := it.key + a.W; nd < dist[a.To] {
+					dist[a.To] = nd
+					parent[a.To] = int32(u)
+					h.pushMin(a.To, nd)
+				}
+			}
+		}
+		for _, v := range sc.queue {
+			sc.affected[v] = false
+		}
+	}
+
+	// Propagation relaxation: added arcs — and any affected node whose
+	// repaired value landed BELOW its pre-edit value — may improve
+	// nodes outside the affected region. The cut-repair above runs on
+	// the edited graph, so a repaired node can come back cheaper
+	// through a freshly inserted arc; without re-seeding those
+	// decreases here they would stop at the region boundary (the
+	// restricted Dijkstra never relaxes outward), leaving violated arcs
+	// into untouched territory.
+	h := &sc.heap
+	h.items = h.items[:0]
+	for qi, v := range sc.queue {
+		if dist[v] < sc.oldDist[qi] {
+			h.pushMin(int(v), dist[v])
+		}
+	}
+	for ei := range r.edits {
+		e := &r.edits[ei]
+		du := dist[e.node]
+		if du >= Inf {
+			continue
+		}
+		for _, a := range e.newOut {
+			if nd := du + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = int32(e.node)
+				h.pushMin(a.To, nd)
+			}
+		}
+	}
+	for len(h.items) > 0 {
+		it := h.popMin()
+		u := it.node
+		if it.key != dist[u] {
+			continue
+		}
+		for _, a := range r.g.Out(u) {
+			if nd := it.key + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = int32(u)
+				h.pushMin(a.To, nd)
+			}
+		}
+	}
+}

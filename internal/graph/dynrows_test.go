@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDynamicRowsMatchesFresh drives DynamicRows through random
+// whole-out-set replacements and checks every row equals a fresh
+// Dijkstra on the edited graph after every Apply.
+func TestDynamicRowsMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 120
+	// Static weight per (u,v) pair, as the contract requires.
+	weight := func(u, v int) float64 {
+		return 0.5 + float64((u*31+v*17)%97)/7
+	}
+	randomOut := func(u, deg int) []Arc {
+		seen := map[int]bool{u: true}
+		var out []Arc
+		for len(out) < deg {
+			v := rng.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, Arc{To: v, W: weight(u, v)})
+			}
+		}
+		return out
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for _, a := range randomOut(u, 3) {
+			g.AddArc(u, a.To, a.W)
+		}
+	}
+	var sources []int
+	for s := 0; s < n; s += 7 {
+		sources = append(sources, s)
+	}
+	r := NewDynamicRows()
+	r.Reset(g, sources, 2)
+
+	check := func(when string) {
+		t.Helper()
+		var sp SPScratch
+		want := make([]float64, n)
+		for i, s := range sources {
+			sp.DijkstraDist(r.Graph(), s, want)
+			got := r.RowAt(i)
+			for v := 0; v < n; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("%s: row %d (src %d) dist[%d] = %v, want %v", when, i, s, v, got[v], want[v])
+				}
+			}
+			if r.Row(s) == nil {
+				t.Fatalf("%s: Row(%d) nil", when, s)
+			}
+		}
+	}
+	check("after Reset")
+	for round := 0; round < 25; round++ {
+		var edits []RowEdit
+		for e := 0; e < 1+rng.Intn(6); e++ {
+			u := rng.Intn(n)
+			edits = append(edits, RowEdit{Node: u, NewOut: randomOut(u, 1+rng.Intn(4))})
+		}
+		r.Apply(edits)
+		check("after Apply")
+	}
+}
+
+// TestDynamicRowsDisconnection covers cutting a node off entirely and
+// reconnecting it.
+func TestDynamicRowsDisconnection(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 3, 1)
+	r := NewDynamicRows()
+	r.Reset(g, []int{0}, 1)
+	if d := r.RowAt(0)[3]; d != 3 {
+		t.Fatalf("initial dist to 3 = %v", d)
+	}
+	r.Apply([]RowEdit{{Node: 1, NewOut: nil}})
+	if d := r.RowAt(0)[2]; d != Inf {
+		t.Fatalf("after cut, dist to 2 = %v, want Inf", d)
+	}
+	r.Apply([]RowEdit{{Node: 1, NewOut: []Arc{{To: 3, W: 5}}}})
+	if d := r.RowAt(0)[3]; d != 6 {
+		t.Fatalf("after reconnect, dist to 3 = %v, want 6", d)
+	}
+	if d := r.RowAt(0)[2]; d != Inf {
+		t.Fatalf("2 should stay unreachable, got %v", d)
+	}
+	if r.Row(2) != nil {
+		t.Fatal("non-source Row should be nil")
+	}
+}

@@ -1,0 +1,586 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the destination-sampling side of the scalability
+// machinery: instead of evaluating its best response against the full
+// O(n) destination roster, a node draws a weighted sample of destinations
+// and optimizes an inverse-probability (Horvitz–Thompson) estimate of the
+// full-roster cost. Three strategies are provided; all are unbiased for
+// the total cost by construction, with a per-sample variance estimate
+// that yields the 95% confidence band the simulator's adoption tests and
+// the property tests consume.
+
+// Strategy selects how destinations are drawn.
+type Strategy int
+
+const (
+	// Uniform draws m destinations without replacement, each with equal
+	// inclusion probability m/(n-1).
+	Uniform Strategy = iota
+	// Demand draws destinations with inclusion probability proportional
+	// to the preference (demand) weight p_ij — Poisson sampling, so the
+	// realized sample size is random with mean <= m. High-demand
+	// destinations, which dominate the cost objective, are (almost)
+	// always sampled; the tail is thinned.
+	Demand
+	// Stratified partitions destinations into direct-cost strata
+	// (near/mid/far quantile bands) and draws uniformly within each, so
+	// the sample covers every distance scale — the failure mode of pure
+	// uniform sampling on clustered topologies is missing the far
+	// cluster entirely.
+	Stratified
+)
+
+// String names the strategy as the CLI spells it.
+func (s Strategy) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Demand:
+		return "demand"
+	case Stratified:
+		return "strat"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy parses a strategy name ("uniform", "demand", "strat").
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uniform":
+		return Uniform, nil
+	case "demand":
+		return Demand, nil
+	case "strat", "stratified":
+		return Stratified, nil
+	default:
+		return 0, fmt.Errorf("sampling: unknown strategy %q (want uniform, demand or strat)", s)
+	}
+}
+
+// Spec is a parsed sampling specification: a strategy plus a target
+// sample size, e.g. "demand:500".
+type Spec struct {
+	Strategy Strategy
+	// M is the target sample size (exact for Uniform/Stratified, the
+	// expected size for Demand's Poisson draw).
+	M int
+}
+
+// String renders the spec in the CLI syntax.
+func (s Spec) String() string { return fmt.Sprintf("%v:%d", s.Strategy, s.M) }
+
+// ParseSpec parses "strategy:m" (e.g. "demand:500", "uniform:100").
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return Spec{}, fmt.Errorf("sampling: spec %q not of the form strategy:m", s)
+	}
+	st, err := ParseStrategy(parts[0])
+	if err != nil {
+		return Spec{}, err
+	}
+	m, err := strconv.Atoi(parts[1])
+	if err != nil || m < 1 {
+		return Spec{}, fmt.Errorf("sampling: bad sample size in spec %q", s)
+	}
+	return Spec{Strategy: st, M: m}, nil
+}
+
+// numStrata is the stratum count of the Stratified strategy: quartile
+// bands of the direct-cost distribution.
+const numStrata = 4
+
+// DestSample is one node's drawn destination sample with the
+// inverse-probability weights that make the weighted sample objective an
+// unbiased estimate of the full-roster objective.
+type DestSample struct {
+	// Dests are the sampled destinations, sorted ascending.
+	Dests []int
+	// InvProb[i] is 1/π_j for Dests[i]: the Horvitz–Thompson expansion
+	// weight.
+	InvProb []float64
+
+	strategy Strategy
+	// Per-stratum population and sample sizes (Uniform uses one stratum)
+	// for the without-replacement variance estimator; nil for Demand.
+	stratumOf []int // aligned with Dests
+	popN      []int
+	samN      []int
+}
+
+// Draw samples destinations for node self out of the population
+// {0..n-1}\{self} according to the spec. pref supplies the demand weights
+// p_ij (nil = uniform; required meaningful only for Demand), direct the
+// measured direct costs (used only by Stratified). The draw consumes rng
+// deterministically, so a per-(epoch,node) seeded rng gives reproducible
+// samples at any worker count.
+func (s Spec) Draw(rng *rand.Rand, self, n int, pref, direct []float64) (*DestSample, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sampling: population of %d nodes", n)
+	}
+	if s.M < 1 {
+		return nil, fmt.Errorf("sampling: non-positive sample size %d", s.M)
+	}
+	switch s.Strategy {
+	case Uniform:
+		return drawUniform(rng, self, n, s.M), nil
+	case Demand:
+		return drawDemand(rng, self, n, s.M, pref), nil
+	case Stratified:
+		if direct == nil {
+			return nil, fmt.Errorf("sampling: stratified draw needs direct costs")
+		}
+		return drawStratified(rng, self, n, s.M, direct), nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown strategy %d", int(s.Strategy))
+	}
+}
+
+// drawUniform is simple random sampling without replacement:
+// π_j = m/(n-1) for every destination.
+func drawUniform(rng *rand.Rand, self, n, m int) *DestSample {
+	pop := n - 1
+	if m > pop {
+		m = pop
+	}
+	// Floyd's algorithm over the population index space [0, pop), mapped
+	// around self: O(m) time and space regardless of n.
+	picked := make(map[int]bool, m)
+	for i := pop - m; i < pop; i++ {
+		j := rng.Intn(i + 1)
+		if picked[j] {
+			j = i
+		}
+		picked[j] = true
+	}
+	ds := &DestSample{
+		Dests:     make([]int, 0, m),
+		InvProb:   make([]float64, m),
+		strategy:  Uniform,
+		stratumOf: make([]int, m),
+		popN:      []int{pop},
+		samN:      []int{m},
+	}
+	for j := range picked {
+		ds.Dests = append(ds.Dests, skipSelf(j, self))
+	}
+	sort.Ints(ds.Dests)
+	w := float64(pop) / float64(m)
+	for i := range ds.InvProb {
+		ds.InvProb[i] = w
+	}
+	return ds
+}
+
+// drawDemand is Poisson sampling with π_j proportional to pref[j],
+// capped at 1: every destination is included independently with its own
+// probability, so the HT estimator and its variance are exact.
+func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
+	pop := n - 1
+	if m >= pop {
+		// Degenerate: the full roster, zero variance.
+		ds := &DestSample{strategy: Demand}
+		for j := 0; j < n; j++ {
+			if j != self {
+				ds.Dests = append(ds.Dests, j)
+				ds.InvProb = append(ds.InvProb, 1)
+			}
+		}
+		return ds
+	}
+	weight := func(j int) float64 {
+		if pref == nil {
+			return 1
+		}
+		if w := pref[j]; w > 0 {
+			return w
+		}
+		return 0
+	}
+	total := 0.0
+	for j := 0; j < n; j++ {
+		if j != self {
+			total += weight(j)
+		}
+	}
+	ds := &DestSample{strategy: Demand}
+	if total <= 0 {
+		// No demand anywhere: fall back to a uniform draw.
+		return drawUniform(rng, self, n, m)
+	}
+	// Water-filling for the cap: capping π at 1 frees probability mass
+	// that proportionality would have assigned beyond certainty. One
+	// rescale pass over the uncapped remainder recovers most of the
+	// target E[sample size] = m without iterating to a fixed point.
+	// When the capped set alone reaches m (extreme skew), the rescale
+	// is skipped: the certainty inclusions are the sample.
+	lambda := float64(m) / total
+	capped := 0
+	cappedMass := 0.0
+	for j := 0; j < n; j++ {
+		if j != self && lambda*weight(j) >= 1 {
+			capped++
+			cappedMass += weight(j)
+		}
+	}
+	if capped > 0 && m > capped && total > cappedMass {
+		lambda = float64(m-capped) / (total - cappedMass)
+	}
+	for j := 0; j < n; j++ {
+		if j == self {
+			continue
+		}
+		pi := lambda * weight(j)
+		if pi > 1 {
+			pi = 1
+		}
+		if pi <= 0 {
+			continue
+		}
+		if pi >= 1 || rng.Float64() < pi {
+			ds.Dests = append(ds.Dests, j)
+			ds.InvProb = append(ds.InvProb, 1/pi)
+		}
+	}
+	if len(ds.Dests) == 0 {
+		// Pathologically small m on a huge roster: guarantee one draw.
+		j := skipSelf(rng.Intn(pop), self)
+		ds.Dests = []int{j}
+		ds.InvProb = []float64{float64(pop)}
+	}
+	return ds
+}
+
+// drawStratified buckets destinations into numStrata direct-cost quantile
+// bands and draws an equal share uniformly within each (SRSWOR per
+// stratum) via per-stratum reservoir sampling: one O(n) pass, no sort of
+// the full roster.
+func drawStratified(rng *rand.Rand, self, n, m int, direct []float64) *DestSample {
+	pop := n - 1
+	if m > pop {
+		m = pop
+	}
+	if m < numStrata {
+		// Too small to stratify meaningfully.
+		return drawUniform(rng, self, n, m)
+	}
+	cuts := stratumCuts(rng, self, n, direct)
+	per := m / numStrata
+	extra := m % numStrata
+	reservoirs := make([][]int, numStrata)
+	want := make([]int, numStrata)
+	for h := 0; h < numStrata; h++ {
+		want[h] = per
+		if h < extra {
+			want[h]++
+		}
+		reservoirs[h] = make([]int, 0, want[h])
+	}
+	popN := make([]int, numStrata)
+	for j := 0; j < n; j++ {
+		if j == self {
+			continue
+		}
+		h := stratumIndex(cuts, direct[j])
+		popN[h]++
+		// Reservoir sampling: keeps a uniform without-replacement sample
+		// of size want[h] from the stream of stratum-h members.
+		if len(reservoirs[h]) < want[h] {
+			reservoirs[h] = append(reservoirs[h], j)
+		} else if want[h] > 0 {
+			if r := rng.Intn(popN[h]); r < want[h] {
+				reservoirs[h][r] = j
+			}
+		}
+	}
+	ds := &DestSample{strategy: Stratified, popN: popN, samN: make([]int, numStrata)}
+	type member struct {
+		dest, stratum int
+	}
+	var members []member
+	for h := 0; h < numStrata; h++ {
+		ds.samN[h] = len(reservoirs[h])
+		for _, j := range reservoirs[h] {
+			members = append(members, member{dest: j, stratum: h})
+		}
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a].dest < members[b].dest })
+	for _, mb := range members {
+		ds.Dests = append(ds.Dests, mb.dest)
+		ds.InvProb = append(ds.InvProb, float64(ds.popN[mb.stratum])/float64(ds.samN[mb.stratum]))
+		ds.stratumOf = append(ds.stratumOf, mb.stratum)
+	}
+	return ds
+}
+
+// stratumCuts estimates the quartile cut points of the direct-cost
+// distribution from a small pilot subsample, so stratification costs
+// O(pilot·log pilot) instead of O(n·log n) per draw.
+func stratumCuts(rng *rand.Rand, self, n int, direct []float64) [numStrata - 1]float64 {
+	const pilot = 128
+	var vals []float64
+	if n-1 <= pilot {
+		for j := 0; j < n; j++ {
+			if j != self {
+				vals = append(vals, direct[j])
+			}
+		}
+	} else {
+		for i := 0; i < pilot; i++ {
+			vals = append(vals, direct[skipSelf(rng.Intn(n-1), self)])
+		}
+	}
+	sort.Float64s(vals)
+	var cuts [numStrata - 1]float64
+	for c := range cuts {
+		cuts[c] = vals[(c+1)*len(vals)/numStrata]
+	}
+	return cuts
+}
+
+// stratumIndex maps a direct cost to its quantile band.
+func stratumIndex(cuts [numStrata - 1]float64, v float64) int {
+	for h, c := range cuts {
+		if v < c {
+			return h
+		}
+	}
+	return numStrata - 1
+}
+
+// skipSelf maps a dense population index in [0, n-1) to a node id,
+// skipping self.
+func skipSelf(idx, self int) int {
+	if idx >= self {
+		return idx + 1
+	}
+	return idx
+}
+
+// Estimate is an unbiased estimate of a full-roster total with its
+// normal-approximation 95% confidence band.
+type Estimate struct {
+	// Total is the Horvitz–Thompson point estimate Σ y_j/π_j.
+	Total float64
+	// StdErr is the estimated standard error of Total.
+	StdErr float64
+	// Lo and Hi bound the 95% confidence band Total ± 1.96·StdErr.
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the 95% band.
+func (e Estimate) Contains(v float64) bool { return v >= e.Lo && v <= e.Hi }
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// t95 holds two-sided 95% Student-t quantiles for 1..30 degrees of
+// freedom; beyond 30 the normal quantile is used. Small destination
+// samples (the interesting regime of the scalability trade-off) badly
+// undercover with the plain normal band.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// quantile95 returns the two-sided 95% quantile for df degrees of
+// freedom.
+func quantile95(df int) float64 {
+	if df < 1 {
+		return t95[0]
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return z95
+}
+
+// Estimate expands the per-destination values y(j) into an unbiased
+// estimate of the population total Σ_{j≠self} y(j), with the variance
+// estimator matching the strategy that drew the sample: the
+// without-replacement (per-stratum) formula for Uniform and Stratified,
+// the exact Poisson HT formula for Demand.
+func (ds *DestSample) Estimate(y func(j int) float64) Estimate {
+	var est Estimate
+	df := 0
+	switch ds.strategy {
+	case Demand:
+		exhaustive := true
+		for i, j := range ds.Dests {
+			yi := y(j)
+			w := ds.InvProb[i]
+			est.Total += yi * w
+			// Var = Σ (1-π_j) (y_j/π_j)^2 for independent inclusions.
+			est.StdErr += (1 - 1/w) * yi * yi * w * w
+			if w > 1 {
+				exhaustive = false
+			}
+		}
+		df = len(ds.Dests) - 1
+		if exhaustive {
+			df = 1 << 30 // full roster: exact, quantile irrelevant
+		}
+	default:
+		// Stratified expansion; Uniform is the single-stratum case.
+		nh := len(ds.popN)
+		sums := make([]float64, nh)
+		sqs := make([]float64, nh)
+		for i, j := range ds.Dests {
+			yi := y(j)
+			est.Total += yi * ds.InvProb[i]
+			h := ds.stratumOf[i]
+			if h == certaintyStratum {
+				continue // exact inclusion: no variance contribution
+			}
+			sums[h] += yi
+			sqs[h] += yi * yi
+		}
+		for h := 0; h < nh; h++ {
+			N, m := float64(ds.popN[h]), float64(ds.samN[h])
+			if m < 2 || N <= m || N <= 0 {
+				continue // exhaustive or single-draw stratum: no variance term
+			}
+			s2 := (sqs[h] - sums[h]*sums[h]/m) / (m - 1)
+			if s2 < 0 {
+				s2 = 0
+			}
+			est.StdErr += N * N * (1 - m/N) * s2 / m
+			df += ds.samN[h] - 1
+		}
+	}
+	est.StdErr = math.Sqrt(math.Max(0, est.StdErr))
+	q := quantile95(df)
+	est.Lo = est.Total - q*est.StdErr
+	est.Hi = est.Total + q*est.StdErr
+	return est
+}
+
+// Strategy reports which strategy drew the sample.
+func (ds *DestSample) Strategy() Strategy { return ds.strategy }
+
+// Remap returns a copy of the sample with every destination id mapped
+// through f, keeping weights and the variance bookkeeping intact. The
+// scale engine uses it to translate a roster-level sample into the
+// compacted id space of a node's local sub-instance. f must be
+// injective; the mapped ids must preserve the original order if callers
+// rely on Dests being sorted.
+func (ds *DestSample) Remap(f func(j int) int) *DestSample {
+	out := *ds
+	out.Dests = make([]int, len(ds.Dests))
+	for i, j := range ds.Dests {
+		out.Dests[i] = f(j)
+	}
+	return &out
+}
+
+// certaintyStratum marks a destination included with probability 1
+// outside the random draw: exact contribution, no variance term.
+const certaintyStratum = -1
+
+// EnsureCertain returns a copy of the sample with the given ids forced
+// in as certainty inclusions (π = 1): their values enter the estimate
+// exactly and contribute no variance, and ids the random draw had
+// already picked are re-weighted to 1. The forced ids form an exact
+// stratum and the rest of the draw keeps its inclusion probabilities;
+// for the without-replacement strategies the original strata still
+// count the forced ids in their populations, an O(|ids|/n) expansion
+// remainder that cancels in paired comparisons (the scale engine's
+// only use). The scale engine forces each node's current
+// neighbors in so that dropping a rarely-sampled neighbor's last link
+// is always priced instead of being invisible in most epochs.
+func (ds *DestSample) EnsureCertain(ids []int) *DestSample {
+	force := map[int]bool{}
+	for _, j := range ids {
+		force[j] = true
+	}
+	out := *ds
+	out.Dests = make([]int, 0, len(ds.Dests)+len(ids))
+	out.InvProb = make([]float64, 0, cap(out.Dests))
+	if ds.stratumOf != nil {
+		out.stratumOf = make([]int, 0, cap(out.Dests))
+		// The variance bookkeeping must follow the reclassification:
+		// a drawn member moved to the certainty stratum leaves both its
+		// stratum's sample and (for the finite-population correction)
+		// its population.
+		out.popN = append([]int(nil), ds.popN...)
+		out.samN = append([]int(nil), ds.samN...)
+	}
+	for i, j := range ds.Dests {
+		out.Dests = append(out.Dests, j)
+		if force[j] {
+			out.InvProb = append(out.InvProb, 1)
+			if ds.stratumOf != nil {
+				out.stratumOf = append(out.stratumOf, certaintyStratum)
+				if h := ds.stratumOf[i]; h != certaintyStratum {
+					out.samN[h]--
+					out.popN[h]--
+				}
+			}
+			delete(force, j)
+		} else {
+			out.InvProb = append(out.InvProb, ds.InvProb[i])
+			if ds.stratumOf != nil {
+				out.stratumOf = append(out.stratumOf, ds.stratumOf[i])
+			}
+		}
+	}
+	for _, j := range ids {
+		if !force[j] {
+			continue
+		}
+		out.Dests = append(out.Dests, j)
+		out.InvProb = append(out.InvProb, 1)
+		if ds.stratumOf != nil {
+			out.stratumOf = append(out.stratumOf, certaintyStratum)
+			// An undrawn forced id also leaves the population it would
+			// have been sampled from; its stratum is only identifiable
+			// in the single-stratum (Uniform) case. For Stratified the
+			// uncorrected population overcounts by O(|ids|) — a slight
+			// widening of the finite-population correction, which is
+			// the conservative direction.
+			if len(out.popN) == 1 {
+				out.popN[0]--
+			}
+		}
+	}
+	sortSampleByDest(&out)
+	return &out
+}
+
+// sortSampleByDest re-sorts the parallel sample arrays by destination
+// id.
+func sortSampleByDest(ds *DestSample) {
+	idx := make([]int, len(ds.Dests))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ds.Dests[idx[a]] < ds.Dests[idx[b]] })
+	dests := make([]int, len(idx))
+	inv := make([]float64, len(idx))
+	var strata []int
+	if ds.stratumOf != nil {
+		strata = make([]int, len(idx))
+	}
+	for pos, i := range idx {
+		dests[pos] = ds.Dests[i]
+		inv[pos] = ds.InvProb[i]
+		if strata != nil {
+			strata[pos] = ds.stratumOf[i]
+		}
+	}
+	ds.Dests, ds.InvProb = dests, inv
+	if strata != nil {
+		ds.stratumOf = strata
+	}
+}

@@ -1,0 +1,280 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		ok   bool
+	}{
+		{"uniform:100", Spec{Uniform, 100}, true},
+		{"demand:500", Spec{Demand, 500}, true},
+		{"strat:64", Spec{Stratified, 64}, true},
+		{"stratified:64", Spec{Stratified, 64}, true},
+		{"demand", Spec{}, false},
+		{"demand:0", Spec{}, false},
+		{"demand:-3", Spec{}, false},
+		{"bogus:10", Spec{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseSpec(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if s := (Spec{Demand, 500}).String(); s != "demand:500" {
+		t.Fatalf("Spec.String() = %q", s)
+	}
+}
+
+// population builds a deterministic test population: per-destination
+// values, preferences and direct costs with realistic skew.
+func population(n int, seed int64) (y, pref, direct []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	y = make([]float64, n)
+	pref = make([]float64, n)
+	direct = make([]float64, n)
+	for j := range y {
+		y[j] = 5 + 40*rng.Float64()
+		pref[j] = math.Exp(rng.NormFloat64()) // lognormal demand skew
+		direct[j] = 1 + 99*rng.Float64()
+	}
+	return
+}
+
+// TestEstimatorUnbiased checks that, averaged over many independent
+// draws, the HT estimate matches the true population total for every
+// strategy, and that the 95% band covers the truth at roughly the
+// nominal rate.
+func TestEstimatorUnbiased(t *testing.T) {
+	const n, self, m, trials = 400, 7, 60, 400
+	y, pref, direct := population(n, 1)
+	truth := 0.0
+	for j := 0; j < n; j++ {
+		if j != self {
+			truth += y[j]
+		}
+	}
+	for _, spec := range []Spec{{Uniform, m}, {Demand, m}, {Stratified, m}} {
+		rng := rand.New(rand.NewSource(42))
+		sum := 0.0
+		covered := 0
+		for trial := 0; trial < trials; trial++ {
+			ds, err := spec.Draw(rng, self, n, pref, direct)
+			if err != nil {
+				t.Fatalf("%v: %v", spec, err)
+			}
+			est := ds.Estimate(func(j int) float64 { return y[j] })
+			sum += est.Total
+			if est.Contains(truth) {
+				covered++
+			}
+			for i, j := range ds.Dests {
+				if j == self || j < 0 || j >= n {
+					t.Fatalf("%v: bad destination %d", spec, j)
+				}
+				if ds.InvProb[i] < 1 {
+					t.Fatalf("%v: inverse probability %f < 1", spec, ds.InvProb[i])
+				}
+				if i > 0 && ds.Dests[i-1] >= j {
+					t.Fatalf("%v: destinations not sorted/distinct", spec)
+				}
+			}
+		}
+		mean := sum / trials
+		if rel := math.Abs(mean-truth) / truth; rel > 0.02 {
+			t.Errorf("%v: mean estimate %.1f vs truth %.1f (rel err %.3f)", spec, mean, truth, rel)
+		}
+		if rate := float64(covered) / trials; rate < 0.88 {
+			t.Errorf("%v: 95%% band covered truth in only %.0f%% of draws", spec, rate*100)
+		}
+	}
+}
+
+// TestDemandTargetsHighPref checks the demand draw includes the heavy
+// destinations (the ones dominating the objective) essentially always.
+func TestDemandTargetsHighPref(t *testing.T) {
+	const n, self, m = 300, 0, 40
+	pref := make([]float64, n)
+	for j := range pref {
+		pref[j] = 0.1
+	}
+	heavy := []int{17, 99, 250}
+	for _, j := range heavy {
+		pref[j] = 100
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		ds, err := Spec{Demand, m}.Draw(rng, self, n, pref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := map[int]bool{}
+		for _, j := range ds.Dests {
+			have[j] = true
+		}
+		for _, j := range heavy {
+			if !have[j] {
+				t.Fatalf("trial %d: heavy destination %d not sampled", trial, j)
+			}
+		}
+	}
+}
+
+// TestStratifiedCoversAllBands checks the stratified draw picks
+// destinations from every distance band of a strongly clustered cost
+// distribution (the case uniform sampling fumbles).
+func TestStratifiedCoversAllBands(t *testing.T) {
+	const n, self, m = 400, 5, 32
+	direct := make([]float64, n)
+	for j := range direct {
+		switch j % 4 {
+		case 0:
+			direct[j] = 1
+		case 1:
+			direct[j] = 10
+		case 2:
+			direct[j] = 100
+		default:
+			direct[j] = 1000
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	ds, err := Spec{Stratified, m}.Draw(rng, self, n, nil, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bands [4]int
+	for _, j := range ds.Dests {
+		switch {
+		case direct[j] <= 1:
+			bands[0]++
+		case direct[j] <= 10:
+			bands[1]++
+		case direct[j] <= 100:
+			bands[2]++
+		default:
+			bands[3]++
+		}
+	}
+	for b, c := range bands {
+		if c == 0 {
+			t.Fatalf("distance band %d not covered: %v", b, bands)
+		}
+	}
+}
+
+// TestDemandExtremeSkew covers the water-filling edge case where the
+// certainty set alone reaches the target size: the dominant
+// destinations must stay in the sample with π=1 instead of the rescale
+// collapsing every inclusion probability to zero.
+func TestDemandExtremeSkew(t *testing.T) {
+	const n, self, m = 100, 0, 2
+	pref := make([]float64, n) // zero demand everywhere...
+	pref[10], pref[20] = 1e6, 1e6
+	rng := rand.New(rand.NewSource(8))
+	ds, err := Spec{Demand, m}.Draw(rng, self, n, pref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[int]float64{}
+	for i, j := range ds.Dests {
+		have[j] = ds.InvProb[i]
+	}
+	for _, j := range []int{10, 20} {
+		w, ok := have[j]
+		if !ok {
+			t.Fatalf("dominant destination %d not sampled: %v", j, ds.Dests)
+		}
+		if w != 1 {
+			t.Fatalf("dominant destination %d should be a certainty inclusion, weight %f", j, w)
+		}
+	}
+}
+
+// TestEnsureCertain checks forced inclusions enter exactly and the
+// estimator stays consistent.
+func TestEnsureCertain(t *testing.T) {
+	y, pref, direct := population(120, 3)
+	for _, spec := range []Spec{{Uniform, 20}, {Demand, 20}, {Stratified, 20}} {
+		rng := rand.New(rand.NewSource(6))
+		base, err := spec.Draw(rng, 0, 120, pref, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forced := []int{5, 50, base.Dests[0]} // one likely-absent, one overlap
+		ds := base.EnsureCertain(forced)
+		have := map[int]float64{}
+		for i, j := range ds.Dests {
+			if i > 0 && ds.Dests[i-1] >= j {
+				t.Fatalf("%v: not sorted/distinct after EnsureCertain", spec)
+			}
+			have[j] = ds.InvProb[i]
+		}
+		for _, j := range forced {
+			if have[j] != 1 {
+				t.Fatalf("%v: forced %d has weight %f, want 1", spec, j, have[j])
+			}
+		}
+		est := ds.Estimate(func(j int) float64 { return y[j] })
+		if est.StdErr < 0 || est.Total <= 0 {
+			t.Fatalf("%v: degenerate estimate %+v", spec, est)
+		}
+	}
+}
+
+// TestDrawDeterminism checks equal seeds give equal samples.
+func TestDrawDeterminism(t *testing.T) {
+	_, pref, direct := population(200, 9)
+	for _, spec := range []Spec{{Uniform, 30}, {Demand, 30}, {Stratified, 30}} {
+		a, err := spec.Draw(rand.New(rand.NewSource(7)), 3, 200, pref, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Draw(rand.New(rand.NewSource(7)), 3, 200, pref, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Dests) != len(b.Dests) {
+			t.Fatalf("%v: nondeterministic sample size", spec)
+		}
+		for i := range a.Dests {
+			if a.Dests[i] != b.Dests[i] || a.InvProb[i] != b.InvProb[i] {
+				t.Fatalf("%v: nondeterministic draw", spec)
+			}
+		}
+	}
+}
+
+// TestDrawFullRoster checks m >= population degenerates to the exact
+// full-roster "sample" with unit weights (no variance).
+func TestDrawFullRoster(t *testing.T) {
+	y, pref, direct := population(20, 2)
+	truth := 0.0
+	for j := 0; j < 20; j++ {
+		if j != 4 {
+			truth += y[j]
+		}
+	}
+	for _, spec := range []Spec{{Uniform, 19}, {Demand, 50}} {
+		ds, err := spec.Draw(rand.New(rand.NewSource(1)), 4, 20, pref, direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Dests) != 19 {
+			t.Fatalf("%v: got %d dests, want 19", spec, len(ds.Dests))
+		}
+		est := ds.Estimate(func(j int) float64 { return y[j] })
+		if math.Abs(est.Total-truth) > 1e-9 || est.StdErr > 1e-9 {
+			t.Fatalf("%v: full roster should be exact: %+v vs %f", spec, est, truth)
+		}
+	}
+}

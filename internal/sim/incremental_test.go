@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"egoist/internal/churn"
+	"egoist/internal/core"
+)
+
+// TestIncrementalMatchesBaseline pins the incremental residual engine's
+// equivalence contract: Config.Incremental changes only how the
+// proposal-phase residual matrices are computed (repaired shortest-path
+// forests instead of per-node APSP), so every measurement must be
+// byte-identical with it on and off — including under churn, HybridBR
+// donated links, and the bottleneck algebra.
+func TestIncrementalMatchesBaseline(t *testing.T) {
+	sched, err := churn.GenerateSynthetic(churn.SyntheticConfig{
+		N: 40, Horizon: 8, On: churn.Exponential{Mean: 6}, Off: churn.Exponential{Mean: 1}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"br-delay", Config{
+			N: 40, K: 3, Seed: 1, Metric: DelayPing, Policy: core.BRPolicy{},
+			WarmEpochs: 2, MeasureEpochs: 3,
+		}},
+		{"br-epsilon-churn", Config{
+			N: 40, K: 3, Seed: 2, Metric: DelayPing, Policy: core.BRPolicy{},
+			Epsilon: 0.1, WarmEpochs: 1, MeasureEpochs: 4, Churn: sched,
+		}},
+		{"hybrid-bandwidth", Config{
+			N: 30, K: 4, Seed: 3, Metric: Bandwidth, Policy: core.BRPolicy{Donated: 2},
+			WarmEpochs: 1, MeasureEpochs: 3,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := c.cfg
+			base.Workers = 4
+			inc := c.cfg
+			inc.Workers = 4
+			inc.Incremental = true
+			a, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("incremental engine diverged from baseline")
+			}
+		})
+	}
+}

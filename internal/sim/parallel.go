@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"egoist/internal/core"
+	"egoist/internal/graph"
 	"egoist/internal/measure"
 	"egoist/internal/par"
 )
@@ -72,7 +73,22 @@ func (st *state) computeProposals(epoch int) ([]proposal, error) {
 			}
 		}
 	}
+	// With Incremental, each worker maintains one shortest-path forest
+	// over the epoch snapshot: a node's residual matrix is produced by
+	// cutting its out-links and repairing only the affected trees, then
+	// restored exactly — same distances as BuildResid, a fraction of the
+	// work once n outgrows the per-epoch forest setup.
+	incremental := st.cfg.Incremental && isBR
 	scratches := make([]*core.Scratch, par.Workers(st.cfg.Workers))
+	var epochForests []*graph.SPForest
+	if incremental {
+		if st.forests == nil {
+			st.forests = make([]*graph.SPForest, par.Workers(st.cfg.Workers))
+		}
+		// Track which persistent forests have been Reset against this
+		// epoch's snapshot.
+		epochForests = make([]*graph.SPForest, par.Workers(st.cfg.Workers))
+	}
 	err := par.DoErr(len(jobs), st.cfg.Workers, func(worker, ji int) error {
 		i := jobs[ji]
 		sc := scratches[worker]
@@ -91,13 +107,30 @@ func (st *state) computeProposals(epoch int) ([]proposal, error) {
 			Rng:     policyRNG(st.cfg.Seed, epoch, i),
 			Scratch: sc,
 		}
-		if isBR {
+		var forest *graph.SPForest
+		if incremental {
+			forest = epochForests[worker]
+			if forest == nil {
+				forest = st.forests[worker]
+				if forest == nil {
+					forest = graph.NewSPForest()
+					st.forests[worker] = forest
+				}
+				forest.Reset(g, kind == core.Bottleneck)
+				epochForests[worker] = forest
+			}
+			forest.RemoveOut(i)
+			req.Resid = forest.Dist()
+		} else if isBR {
 			// Compute the residual matrix once; Select and the adoption
 			// test below share it.
 			req.Resid = core.BuildResidScratch(g, i, kind, active, sc)
 		}
 		set, err := st.cfg.Policy.Select(req)
 		if err != nil {
+			if forest != nil {
+				forest.RestoreOut()
+			}
 			return err
 		}
 		props[i].set = set
@@ -109,6 +142,9 @@ func (st *state) computeProposals(epoch int) ([]proposal, error) {
 			props[i].curVal = inst.EvalScratch(props[i].wiring0, sc)
 			props[i].newVal = inst.EvalScratch(set, sc)
 			props[i].hasEval = true
+		}
+		if forest != nil {
+			forest.RestoreOut()
 		}
 		return nil
 	})

@@ -125,6 +125,16 @@ type Config struct {
 	// Custom Policy implementations must be safe for concurrent Select
 	// calls on distinct Requests.
 	Workers int
+	// Incremental switches the proposal phase's residual-matrix
+	// construction from one full all-pairs computation per node to an
+	// incrementally repaired shortest-path forest per worker: each node's
+	// residual view is obtained by cutting just its out-links out of the
+	// shared epoch snapshot and repairing only the affected shortest-path
+	// trees, then undoing exactly. Produces bit-identical distances (and
+	// therefore byte-identical simulation results); it only changes the
+	// time complexity of the hot path. Applies to BR policies with
+	// Workers-driven proposals.
+	Incremental bool
 }
 
 func (c *Config) validate() error {
@@ -194,6 +204,11 @@ type state struct {
 	// changed, a cycle was enforced); once set, adoption falls back to the
 	// sequential re-wiring path (see parallel.go).
 	epochDirty bool
+
+	// forests holds the per-worker incremental shortest-path forests of
+	// the Incremental proposal phase, persisted across epochs so their
+	// matrices are reused instead of reallocated every epoch.
+	forests []*graph.SPForest
 }
 
 // Run executes one simulation and returns its measurements.

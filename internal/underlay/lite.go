@@ -1,0 +1,100 @@
+package underlay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Lite is the O(n)-memory synthetic underlay of the large-scale
+// simulation mode: sites are placed with the same PlanetLab-mix
+// geography as Underlay, but pairwise delay is computed on demand from
+// the great-circle distance plus a deterministic per-pair inflation
+// hash — no n×n matrices, so a 10k+-node overlay costs kilobytes
+// instead of gigabytes. Delays are static (the static-trace setting of
+// the paper's Sect. 5 scalability study).
+type Lite struct {
+	seed              int64
+	sites             []Site
+	unit              [][3]float64 // per-site unit vectors for fast arc length
+	propagationFactor float64
+	accessDelayMS     float64
+}
+
+// NewLite builds an n-site constant-memory underlay.
+func NewLite(n int, seed int64) (*Lite, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("underlay: need at least 2 sites, got %d", n)
+	}
+	l := &Lite{
+		seed:              seed,
+		propagationFactor: 0.015,
+		accessDelayMS:     2,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mix := PlanetLabMix(n)
+	l.sites = make([]Site, 0, n)
+	for r := Region(0); r < numRegions; r++ {
+		for j := 0; j < mix[r]; j++ {
+			l.sites = append(l.sites, Site{
+				Region: r,
+				Lat:    clampLat(regionCenter[r][0] + rng.NormFloat64()*regionSpread[r]),
+				Lon:    wrapLon(regionCenter[r][1] + rng.NormFloat64()*regionSpread[r]*2),
+			})
+		}
+	}
+	rng.Shuffle(len(l.sites), func(i, j int) {
+		l.sites[i], l.sites[j] = l.sites[j], l.sites[i]
+	})
+	l.unit = make([][3]float64, n)
+	rad := math.Pi / 180
+	for i, s := range l.sites {
+		lat, lon := s.Lat*rad, s.Lon*rad
+		l.unit[i] = [3]float64{
+			math.Cos(lat) * math.Cos(lon),
+			math.Cos(lat) * math.Sin(lon),
+			math.Sin(lat),
+		}
+	}
+	return l, nil
+}
+
+// N returns the number of sites.
+func (l *Lite) N() int { return len(l.sites) }
+
+// Site returns the i-th site descriptor.
+func (l *Lite) Site(i int) Site { return l.sites[i] }
+
+// Delay returns the static one-way delay in ms from i to j: access delay
+// plus great-circle propagation inflated by a deterministic per-pair
+// routing factor. Asymmetric (the (i,j) and (j,i) inflations differ),
+// like real routed paths.
+func (l *Lite) Delay(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	const earthRadiusKM = 6371
+	a, b := l.unit[i], l.unit[j]
+	dot := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+	if dot > 1 {
+		dot = 1
+	} else if dot < -1 {
+		dot = -1
+	}
+	km := earthRadiusKM * math.Acos(dot)
+	// Hash (seed, i, j) into an inflation factor in [1, 1.36): the same
+	// scale as Underlay's |N(0,1)|·0.15 lognormal-ish inflation.
+	h := liteMix(uint64(l.seed) ^ 0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + uint64(j)*0x94d049bb133111eb)
+	inflation := 1 + 0.36*float64(h>>11)/float64(1<<53)
+	return l.accessDelayMS + km*l.propagationFactor*inflation
+}
+
+// liteMix is the SplitMix64 finalizer.
+func liteMix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
