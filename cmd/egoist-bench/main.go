@@ -8,10 +8,16 @@
 //	egoist-bench -fig all -scale quick
 //	egoist-bench -list
 //	egoist-bench -scale 10000 -sample demand:500 -bench-json BENCH_scale.json
+//	egoist-bench -scenario leave-wave-10k -scenarios-json BENCH_scenarios.json
+//	egoist-bench -scenarios ci/scenarios -engines scale,full
 //
-// The last form runs the large-scale sampled simulation engine (a
+// The -scale <n> form runs the large-scale sampled simulation engine (a
 // single convergence run of n nodes, sampled best responses) and writes
-// the machine-readable benchmark record CI uploads as an artifact.
+// the machine-readable benchmark record CI uploads as an artifact. The
+// -scenario form runs one declarative scenario (a built-in name or a
+// spec file) and -scenarios runs a whole directory of specs as a
+// matrix across the listed engines, writing the BENCH_scenarios.json
+// artifact.
 //
 // See DESIGN.md §4 for the figure index and EXPERIMENTS.md for recorded
 // output.
@@ -27,8 +33,56 @@ import (
 
 	"egoist/internal/experiments"
 	"egoist/internal/sampling"
+	"egoist/internal/scenario"
 	"egoist/internal/sim"
 )
+
+// loadScenario resolves a -scenario argument: a built-in name first,
+// then a spec file path.
+func loadScenario(arg string) (scenario.Spec, error) {
+	if spec, ok := scenario.Builtin(arg); ok {
+		return spec, nil
+	}
+	return scenario.Load(arg)
+}
+
+// runScenarios executes specs × engines (a spec with an explicit
+// engine runs only there) and writes the metrics artifact.
+func runScenarios(specs []scenario.Spec, engines []string, workers int, outJSON string) {
+	var recs []*scenario.Metrics
+	failed := false
+	for _, spec := range specs {
+		specEngines := engines
+		if spec.Engine != "" {
+			specEngines = []string{spec.Engine}
+		}
+		for _, eng := range specEngines {
+			start := time.Now()
+			m, err := scenario.Run(spec, scenario.Options{Engine: eng, Workers: workers})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-bench: scenario %s/%s: %v\n", spec.Name, eng, err)
+				failed = true
+				if m == nil {
+					continue
+				}
+			}
+			recs = append(recs, m)
+			fmt.Printf("scenario %-18s %-5s n=%-6d epochs=%-3d churn=%.4f joins=%-4d leaves=%-4d rewires/ep=%.1f recovery=%d final=%.1f (%v)\n",
+				m.Scenario, m.Engine, m.N, m.Epochs, m.ChurnRate, m.Joins, m.Leaves,
+				m.MeanRewires, m.RecoveryEpochs, m.FinalCost, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if outJSON != "" {
+		if err := scenario.WriteMetricsJSON(outJSON, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", outJSON, len(recs))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
 
 // parsePositiveInt parses s as a positive integer (an overlay size for
 // the large-scale mode), rejecting the named scales and any trailing
@@ -110,9 +164,40 @@ func main() {
 		epochs    = flag.Int("epochs", 0, "epoch cap for the large-scale engine (0 = engine default)")
 		kFlag     = flag.Int("k", 0, "degree budget for the large-scale engine (0 = size default)")
 		benchJSON = flag.String("bench-json", "", "write BENCH_scale.json-style records to this path (scale runs and -fig scale)")
+		scenOne   = flag.String("scenario", "", "run one declarative scenario: a built-in name (see internal/scenario) or a spec file")
+		scenDir   = flag.String("scenarios", "", "run every *.json scenario spec in this directory as a matrix across -engines")
+		enginesF  = flag.String("engines", "scale", "comma-separated engines for scenario runs: scale,full (specs with an explicit engine ignore this)")
+		scenJSON  = flag.String("scenarios-json", "BENCH_scenarios.json", "write scenario metric records to this path ('' disables)")
 	)
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+
+	if *scenOne != "" || *scenDir != "" {
+		engines, err := scenario.EngineList(*enginesF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+			os.Exit(2)
+		}
+		var specs []scenario.Spec
+		if *scenOne != "" {
+			spec, err := loadScenario(*scenOne)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+				os.Exit(2)
+			}
+			specs = append(specs, spec)
+		}
+		if *scenDir != "" {
+			dirSpecs, err := scenario.LoadDir(*scenDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+				os.Exit(2)
+			}
+			specs = append(specs, dirSpecs...)
+		}
+		runScenarios(specs, engines, *workers, *scenJSON)
+		return
+	}
 
 	if n, err := parsePositiveInt(*scale); err == nil {
 		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *benchJSON)

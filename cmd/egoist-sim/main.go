@@ -7,6 +7,12 @@
 //	egoist-sim -n 50 -k 5 -policy BR -metric delay-ping
 //	egoist-sim -n 50 -k 5 -policy HybridBR -churn 0.02
 //	egoist-sim -n 50 -k 2 -cheaters 8 -epochs 40
+//	egoist-sim -scenario ci/scenarios/churn-storm.json
+//
+// With -scenario the flags above are ignored: the declarative spec
+// (the same format the scenario runner, examples/churn and the CI
+// matrix consume) fully describes the run, executed here on the full
+// simulator unless the spec pins an engine.
 package main
 
 import (
@@ -15,8 +21,40 @@ import (
 	"os"
 
 	"egoist"
+	"egoist/internal/scenario"
 	"egoist/internal/vis"
 )
+
+// runScenario executes a declarative spec file and prints its metrics.
+func runScenario(path string, workers int) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egoist-sim: %v\n", err)
+		os.Exit(2)
+	}
+	engine := spec.Engine
+	if engine == "" {
+		engine = scenario.EngineFull // this is the full simulator's CLI
+	}
+	m, runErr := scenario.Run(spec, scenario.Options{Engine: engine, Workers: workers})
+	if m != nil {
+		fmt.Printf("scenario %s on %s: n=%d k=%d seed=%d\n", m.Scenario, m.Engine, m.N, m.K, m.Seed)
+		fmt.Printf("epochs=%d converged=%v churn=%.4f joins=%d leaves=%d\n",
+			m.Epochs, m.Converged, m.ChurnRate, m.Joins, m.Leaves)
+		fmt.Printf("%-7s %14s %9s\n", "epoch", "cost", "rewires")
+		for e := 0; e < m.Epochs; e++ {
+			fmt.Printf("%-7d %14.2f %9d\n", e, m.CostPerEpoch[e], m.RewiresPerEpoch[e])
+		}
+		fmt.Printf("pre-event cost=%.2f final=%.2f recovery epochs=%d\n",
+			m.PreEventCost, m.FinalCost, m.RecoveryEpochs)
+	}
+	if runErr != nil {
+		// Expectation violations still print the record above for
+		// diagnosis, then fail.
+		fmt.Fprintf(os.Stderr, "egoist-sim: %v\n", runErr)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -33,8 +71,14 @@ func main() {
 		delays   = flag.String("delays", "", "all-pairs delay trace file (replaces the synthetic underlay; see egoist-trace)")
 		topoSVG  = flag.String("topo", "", "write the final overlay topology as SVG to this file")
 		workers  = flag.Int("workers", 0, "parallel best-response workers per epoch (0 = NumCPU, 1 = sequential; identical results either way)")
+		scenFile = flag.String("scenario", "", "run a declarative scenario spec file instead of the ad-hoc flags")
 	)
 	flag.Parse()
+
+	if *scenFile != "" {
+		runScenario(*scenFile, *workers)
+		return
+	}
 
 	opts := egoist.SimOptions{
 		N: *n, K: *k, Seed: *seed,

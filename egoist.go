@@ -429,6 +429,11 @@ type ScaleOptions struct {
 	// results are byte-identical for any value).
 	Seed    int64
 	Workers int
+	// Churn optionally drives dynamic membership (times in epochs):
+	// joins bootstrap into the overlay and its facility directory,
+	// leaves orphan their in-links immediately and the victims re-wire
+	// within one epoch. Use MakeChurn or load a trace.
+	Churn *churn.Schedule
 }
 
 // ScaleEpochStats is one epoch's aggregate measurements of a ScaleRun.
@@ -438,17 +443,25 @@ type ScaleEpochStats struct {
 	// EstCost is the mean per-node estimated full-roster cost; Band the
 	// mean 95% confidence half-width of that estimate.
 	EstCost, Band float64
+	// Joins and Leaves count membership events applied this epoch;
+	// Alive is the population at the epoch's end.
+	Joins, Leaves int
+	Alive         int
 }
 
 // ScaleRunResult reports a large-scale run.
 type ScaleRunResult struct {
 	// Epochs run; Converged reports whether re-wiring activity fell
-	// below 1% of nodes before the epoch cap.
+	// below 1% of alive nodes (with no membership events pending)
+	// before the epoch cap.
 	Epochs    int
 	Converged bool
-	// PerEpoch holds the per-epoch statistics; Wiring the final overlay.
+	// PerEpoch holds the per-epoch statistics; Wiring the final overlay
+	// (nil rows for departed nodes).
 	PerEpoch []ScaleEpochStats
 	Wiring   [][]int
+	// Joins and Leaves total the membership events applied.
+	Joins, Leaves int
 }
 
 // ScaleRun executes one large-scale sampled simulation.
@@ -478,6 +491,7 @@ func ScaleRun(opts ScaleOptions) (*ScaleRunResult, error) {
 	res, err := sim.RunScale(sim.ScaleConfig{
 		N: opts.N, K: k, Seed: opts.Seed, Sample: spec,
 		Epsilon: opts.Epsilon, MaxEpochs: opts.Epochs, Workers: opts.Workers,
+		Churn: opts.Churn,
 	})
 	if err != nil {
 		return nil, err
@@ -486,10 +500,13 @@ func ScaleRun(opts ScaleOptions) (*ScaleRunResult, error) {
 		Epochs:    res.Epochs,
 		Converged: res.Converged,
 		Wiring:    res.Wiring,
+		Joins:     res.Joins,
+		Leaves:    res.Leaves,
 	}
 	for _, ep := range res.PerEpoch {
 		out.PerEpoch = append(out.PerEpoch, ScaleEpochStats{
 			Rewires: ep.Rewires, EstCost: ep.MeanEstCost, Band: ep.MeanBand,
+			Joins: ep.Joins, Leaves: ep.Leaves, Alive: ep.Alive,
 		})
 	}
 	return out, nil

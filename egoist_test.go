@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"egoist/internal/churn"
 	"egoist/internal/topology"
 )
 
@@ -196,5 +197,55 @@ func TestPolicyAndMetricEnumerations(t *testing.T) {
 	}
 	if !Bandwidth.HigherIsBetter() || DelayPing.HigherIsBetter() {
 		t.Fatal("HigherIsBetter wrong")
+	}
+}
+
+func TestScaleRunWithChurn(t *testing.T) {
+	// A public-API churn run: 10% of a 150-node overlay leaves at epoch
+	// 2.5; the run must report the events and every survivor must end
+	// wired to alive targets only.
+	sched := &churn.Schedule{N: 150, InitialOn: make([]bool, 150)}
+	for i := range sched.InitialOn {
+		sched.InitialOn[i] = true
+	}
+	dead := map[int]bool{}
+	for v := 0; v < 150; v += 10 {
+		sched.Events = append(sched.Events, churn.Event{Time: 2.5, Node: v, On: false})
+		dead[v] = true
+	}
+	res, err := ScaleRun(ScaleOptions{
+		N: 150, K: 3, Seed: 9, Sample: "uniform:25", Epochs: 6, Workers: 2,
+		Churn: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaves != len(dead) {
+		t.Fatalf("leaves = %d, want %d", res.Leaves, len(dead))
+	}
+	sawEvent := false
+	for _, ep := range res.PerEpoch {
+		if ep.Leaves > 0 {
+			sawEvent = true
+			if ep.Alive != 150-len(dead) {
+				t.Fatalf("alive after wave = %d, want %d", ep.Alive, 150-len(dead))
+			}
+		}
+	}
+	if !sawEvent {
+		t.Fatal("no epoch recorded the wave")
+	}
+	for i, w := range res.Wiring {
+		if dead[i] {
+			continue
+		}
+		if len(w) == 0 {
+			t.Fatalf("alive node %d ended unwired", i)
+		}
+		for _, v := range w {
+			if dead[v] {
+				t.Fatalf("node %d wired to departed node %d", i, v)
+			}
+		}
 	}
 }

@@ -3,16 +3,50 @@
 // connectivity backbone) and the heuristics, using the paper's efficiency
 // metric. Reproduces the crossover where HybridBR overtakes plain BR once
 // membership changes approach one per re-wiring opportunity.
+//
+// With -scenario <file> the sweep is replaced by one declarative
+// scenario run — the same spec format cmd/egoist-sim, cmd/egoist-bench
+// and the CI matrix consume — on the engine the spec names (default:
+// the full simulator, matching the sweep).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"egoist"
+	"egoist/internal/scenario"
 )
 
+// runScenario replays one spec file and prints its metrics record.
+func runScenario(path string) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := spec.Engine
+	if engine == "" {
+		engine = scenario.EngineFull
+	}
+	m, err := scenario.Run(spec, scenario.Options{Engine: engine})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s on %s: epochs=%d churn=%.4f joins=%d leaves=%d\n",
+		m.Scenario, m.Engine, m.Epochs, m.ChurnRate, m.Joins, m.Leaves)
+	fmt.Printf("mean rewires/epoch %.1f, final cost %.2f, recovery epochs %d\n",
+		m.MeanRewires, m.FinalCost, m.RecoveryEpochs)
+}
+
 func main() {
+	scenFile := flag.String("scenario", "", "run a declarative scenario spec file instead of the churn sweep")
+	flag.Parse()
+	if *scenFile != "" {
+		runScenario(*scenFile)
+		return
+	}
+
 	const n, k = 30, 4
 	const horizon = 24.0 // epochs
 

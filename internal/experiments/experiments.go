@@ -825,7 +825,7 @@ var Registry = map[string]func(Scale) (*Figure, error){
 	"5": Fig5, "5brite": Fig5BRITE, "6": Fig6, "7": Fig7, "8": Fig8,
 	"10": Fig10, "11": Fig11,
 	"overhead": Overhead, "streaming": Streaming,
-	"scale": FigScale, "gap": FigScaleGap,
+	"scale": FigScale, "gap": FigScaleGap, "churnscale": FigChurnScale,
 }
 
 // IDs returns the registry's figure ids in a stable order.

@@ -256,7 +256,7 @@ func TestOverheadAnalyticVsMeasured(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"1a", "1b", "1c", "1d", "2a", "2b", "3a", "3b", "3c", "4a", "4b", "5", "5brite", "6", "7", "8", "10", "11", "overhead", "streaming", "scale", "gap"}
+	want := []string{"1a", "1b", "1c", "1d", "2a", "2b", "3a", "3b", "3c", "4a", "4b", "5", "5brite", "6", "7", "8", "10", "11", "overhead", "streaming", "scale", "gap", "churnscale"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d figures, want %d: %v", len(ids), len(want), ids)

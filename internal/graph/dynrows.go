@@ -30,6 +30,12 @@ type DynamicRows struct {
 
 	scratch []*dynScratch
 	edits   []dynEdit
+
+	// resets counts full rebuilds (Reset calls), applies incremental
+	// repairs (Apply calls). The scale engine's churn tests pin the
+	// directory-maintenance invariant on them: membership events must
+	// never trigger a full rebuild, only Apply/AddSource/RemoveSource.
+	resets, applies int
 }
 
 // dynEdit is one node's out-set replacement with its prior arcs.
@@ -77,9 +83,19 @@ func (r *DynamicRows) Row(v NodeID) []float64 {
 // RowAt returns the i-th source's distance row.
 func (r *DynamicRows) RowAt(i int) []float64 { return r.dist[i] }
 
+// SlotOf returns the row index of source v, or -1 if v is not a source.
+func (r *DynamicRows) SlotOf(v NodeID) int { return int(r.slot[v]) }
+
+// Resets reports how many full rebuilds (Reset calls) have run.
+func (r *DynamicRows) Resets() int { return r.resets }
+
+// Applies reports how many incremental repairs (Apply calls) have run.
+func (r *DynamicRows) Applies() int { return r.applies }
+
 // Reset rebuilds everything: graph copy, reverse adjacency, and one
 // full Dijkstra row per source, fanned out over workers (0 = NumCPU).
 func (r *DynamicRows) Reset(g *Digraph, sources []int, workers int) {
+	r.resets++
 	n := g.N()
 	if r.g == nil {
 		r.g = New(n)
@@ -160,6 +176,7 @@ func (r *DynamicRows) Apply(edits []RowEdit) {
 	if len(edits) == 0 {
 		return
 	}
+	r.applies++
 	r.edits = r.edits[:0]
 	for _, e := range edits {
 		de := dynEdit{node: e.Node}
@@ -184,6 +201,54 @@ func (r *DynamicRows) Apply(edits []RowEdit) {
 		}
 		r.repairRow(i, sc)
 	})
+}
+
+// AddSource adds v as a new source with one fresh Dijkstra row — the
+// per-event cost of bootstrapping a joining node into the scale
+// engine's facility directory, O(E log n) instead of a full
+// |sources|-row rebuild. No-op when v is already a source.
+func (r *DynamicRows) AddSource(v NodeID) {
+	if r.slot[v] >= 0 {
+		return
+	}
+	n := r.g.N()
+	i := len(r.sources)
+	r.slot[v] = int32(i)
+	r.sources = append(r.sources, v)
+	if i < cap(r.dist) && i < cap(r.parent) {
+		r.dist = r.dist[:i+1]
+		r.parent = r.parent[:i+1]
+	} else {
+		r.dist = append(r.dist, nil)
+		r.parent = append(r.parent, nil)
+	}
+	if r.dist[i] == nil || len(r.dist[i]) != n {
+		r.dist[i] = make([]float64, n)
+		r.parent[i] = make([]int32, n)
+	}
+	r.fullRow(i)
+}
+
+// RemoveSource drops source v's row in O(1) by swapping the last row
+// into its slot — used when a directory member leaves the overlay, so
+// its (now meaningless) row stops being repaired. Callers that index
+// rows positionally via RowAt must mirror the same swap on their own
+// id arrays. No-op when v is not a source.
+func (r *DynamicRows) RemoveSource(v NodeID) {
+	s := r.slot[v]
+	if s < 0 {
+		return
+	}
+	last := len(r.sources) - 1
+	moved := r.sources[last]
+	r.sources[s] = moved
+	r.dist[s], r.dist[last] = r.dist[last], r.dist[s]
+	r.parent[s], r.parent[last] = r.parent[last], r.parent[s]
+	r.slot[moved] = s
+	r.slot[v] = -1
+	r.sources = r.sources[:last]
+	r.dist = r.dist[:last]
+	r.parent = r.parent[:last]
 }
 
 // removeRev deletes the reverse-adjacency entry v <- u.

@@ -96,3 +96,83 @@ func TestDynamicRowsDisconnection(t *testing.T) {
 		t.Fatal("non-source Row should be nil")
 	}
 }
+
+// TestDynamicRowsSourceChurn drives AddSource/RemoveSource interleaved
+// with Apply edits and checks every surviving row stays exact — the
+// membership-event maintenance path of the scale engine's directory.
+func TestDynamicRowsSourceChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 80
+	weight := func(u, v int) float64 { return 0.5 + float64((u*13+v*29)%53)/9 }
+	randomOut := func(u, deg int) []Arc {
+		seen := map[int]bool{u: true}
+		var out []Arc
+		for len(out) < deg {
+			v := rng.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, Arc{To: v, W: weight(u, v)})
+			}
+		}
+		return out
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for _, a := range randomOut(u, 3) {
+			g.AddArc(u, a.To, a.W)
+		}
+	}
+	sources := []int{0, 5, 10, 15}
+	r := NewDynamicRows()
+	r.Reset(g, sources, 1)
+
+	inSet := map[int]bool{0: true, 5: true, 10: true, 15: true}
+	check := func(when string) {
+		t.Helper()
+		var sp SPScratch
+		want := make([]float64, n)
+		for s := range inSet {
+			slot := r.SlotOf(s)
+			if slot < 0 {
+				t.Fatalf("%s: source %d lost its slot", when, s)
+			}
+			sp.DijkstraDist(r.Graph(), s, want)
+			got := r.RowAt(slot)
+			for v := 0; v < n; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("%s: src %d dist[%d] = %v, want %v", when, s, v, got[v], want[v])
+				}
+			}
+		}
+	}
+	check("initial")
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Intn(n)
+			r.AddSource(v)
+			inSet[v] = true
+		case 1:
+			for s := range inSet {
+				if len(inSet) > 1 {
+					r.RemoveSource(s)
+					delete(inSet, s)
+					if r.SlotOf(s) != -1 {
+						t.Fatalf("removed source %d still has slot %d", s, r.SlotOf(s))
+					}
+				}
+				break
+			}
+		case 2:
+			u := rng.Intn(n)
+			r.Apply([]RowEdit{{Node: u, NewOut: randomOut(u, 1+rng.Intn(4))}})
+		}
+		check("after round")
+	}
+	if r.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", r.Resets())
+	}
+	if r.Applies() == 0 {
+		t.Fatal("Applies = 0, want > 0")
+	}
+}

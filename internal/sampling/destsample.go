@@ -118,6 +118,54 @@ type DestSample struct {
 	samN      []int
 }
 
+// roster enumerates the destination population a draw runs over: the
+// full id range [0, n) minus self, or an explicit id subset (the alive
+// roster under dynamic membership) minus self. Draws index it densely,
+// so the same sampling code serves both without duplicating RNG
+// consumption on the full-range path.
+type roster struct {
+	ids     []int // nil: the full range [0, n)
+	n       int
+	self    int
+	selfPos int // index of self within ids, or len(ids) if absent
+}
+
+func newRoster(ids []int, self, n int) roster {
+	p := roster{ids: ids, n: n, self: self}
+	if ids != nil {
+		p.selfPos = len(ids)
+		for x, v := range ids {
+			if v == self {
+				p.selfPos = x
+				break
+			}
+		}
+	}
+	return p
+}
+
+// size is the number of drawable destinations (self excluded).
+func (p roster) size() int {
+	if p.ids == nil {
+		return p.n - 1
+	}
+	if p.selfPos < len(p.ids) {
+		return len(p.ids) - 1
+	}
+	return len(p.ids)
+}
+
+// at maps a dense population index to a node id, skipping self.
+func (p roster) at(i int) int {
+	if p.ids == nil {
+		return skipSelf(i, p.self)
+	}
+	if i >= p.selfPos {
+		i++
+	}
+	return p.ids[i]
+}
+
 // Draw samples destinations for node self out of the population
 // {0..n-1}\{self} according to the spec. pref supplies the demand weights
 // p_ij (nil = uniform; required meaningful only for Demand), direct the
@@ -128,28 +176,46 @@ func (s Spec) Draw(rng *rand.Rand, self, n int, pref, direct []float64) (*DestSa
 	if n < 2 {
 		return nil, fmt.Errorf("sampling: population of %d nodes", n)
 	}
+	return s.draw(rng, newRoster(nil, self, n), pref, direct)
+}
+
+// DrawFrom draws like Draw but over the explicit sub-population ids
+// (self is skipped when present) — the alive roster under churn.
+// Inclusion probabilities, HT weights and the variance bookkeeping are
+// all relative to the sub-population, so estimates expand to totals
+// over ids, never crediting departed nodes. pref and direct stay
+// indexed by global node id.
+func (s Spec) DrawFrom(rng *rand.Rand, self int, ids []int, pref, direct []float64) (*DestSample, error) {
+	p := newRoster(ids, self, len(ids)+1)
+	if p.size() < 1 {
+		return nil, fmt.Errorf("sampling: sub-population of %d nodes besides self", p.size())
+	}
+	return s.draw(rng, p, pref, direct)
+}
+
+func (s Spec) draw(rng *rand.Rand, p roster, pref, direct []float64) (*DestSample, error) {
 	if s.M < 1 {
 		return nil, fmt.Errorf("sampling: non-positive sample size %d", s.M)
 	}
 	switch s.Strategy {
 	case Uniform:
-		return drawUniform(rng, self, n, s.M), nil
+		return drawUniform(rng, p, s.M), nil
 	case Demand:
-		return drawDemand(rng, self, n, s.M, pref), nil
+		return drawDemand(rng, p, s.M, pref), nil
 	case Stratified:
 		if direct == nil {
 			return nil, fmt.Errorf("sampling: stratified draw needs direct costs")
 		}
-		return drawStratified(rng, self, n, s.M, direct), nil
+		return drawStratified(rng, p, s.M, direct), nil
 	default:
 		return nil, fmt.Errorf("sampling: unknown strategy %d", int(s.Strategy))
 	}
 }
 
 // drawUniform is simple random sampling without replacement:
-// π_j = m/(n-1) for every destination.
-func drawUniform(rng *rand.Rand, self, n, m int) *DestSample {
-	pop := n - 1
+// π_j = m/pop for every destination.
+func drawUniform(rng *rand.Rand, p roster, m int) *DestSample {
+	pop := p.size()
 	if m > pop {
 		m = pop
 	}
@@ -172,7 +238,7 @@ func drawUniform(rng *rand.Rand, self, n, m int) *DestSample {
 		samN:      []int{m},
 	}
 	for j := range picked {
-		ds.Dests = append(ds.Dests, skipSelf(j, self))
+		ds.Dests = append(ds.Dests, p.at(j))
 	}
 	sort.Ints(ds.Dests)
 	w := float64(pop) / float64(m)
@@ -185,16 +251,14 @@ func drawUniform(rng *rand.Rand, self, n, m int) *DestSample {
 // drawDemand is Poisson sampling with π_j proportional to pref[j],
 // capped at 1: every destination is included independently with its own
 // probability, so the HT estimator and its variance are exact.
-func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
-	pop := n - 1
+func drawDemand(rng *rand.Rand, p roster, m int, pref []float64) *DestSample {
+	pop := p.size()
 	if m >= pop {
 		// Degenerate: the full roster, zero variance.
 		ds := &DestSample{strategy: Demand}
-		for j := 0; j < n; j++ {
-			if j != self {
-				ds.Dests = append(ds.Dests, j)
-				ds.InvProb = append(ds.InvProb, 1)
-			}
+		for x := 0; x < pop; x++ {
+			ds.Dests = append(ds.Dests, p.at(x))
+			ds.InvProb = append(ds.InvProb, 1)
 		}
 		return ds
 	}
@@ -208,15 +272,13 @@ func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
 		return 0
 	}
 	total := 0.0
-	for j := 0; j < n; j++ {
-		if j != self {
-			total += weight(j)
-		}
+	for x := 0; x < pop; x++ {
+		total += weight(p.at(x))
 	}
 	ds := &DestSample{strategy: Demand}
 	if total <= 0 {
 		// No demand anywhere: fall back to a uniform draw.
-		return drawUniform(rng, self, n, m)
+		return drawUniform(rng, p, m)
 	}
 	// Water-filling for the cap: capping π at 1 frees probability mass
 	// that proportionality would have assigned beyond certainty. One
@@ -227,19 +289,17 @@ func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
 	lambda := float64(m) / total
 	capped := 0
 	cappedMass := 0.0
-	for j := 0; j < n; j++ {
-		if j != self && lambda*weight(j) >= 1 {
+	for x := 0; x < pop; x++ {
+		if w := weight(p.at(x)); lambda*w >= 1 {
 			capped++
-			cappedMass += weight(j)
+			cappedMass += w
 		}
 	}
 	if capped > 0 && m > capped && total > cappedMass {
 		lambda = float64(m-capped) / (total - cappedMass)
 	}
-	for j := 0; j < n; j++ {
-		if j == self {
-			continue
-		}
+	for x := 0; x < pop; x++ {
+		j := p.at(x)
 		pi := lambda * weight(j)
 		if pi > 1 {
 			pi = 1
@@ -254,7 +314,7 @@ func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
 	}
 	if len(ds.Dests) == 0 {
 		// Pathologically small m on a huge roster: guarantee one draw.
-		j := skipSelf(rng.Intn(pop), self)
+		j := p.at(rng.Intn(pop))
 		ds.Dests = []int{j}
 		ds.InvProb = []float64{float64(pop)}
 	}
@@ -265,16 +325,16 @@ func drawDemand(rng *rand.Rand, self, n, m int, pref []float64) *DestSample {
 // bands and draws an equal share uniformly within each (SRSWOR per
 // stratum) via per-stratum reservoir sampling: one O(n) pass, no sort of
 // the full roster.
-func drawStratified(rng *rand.Rand, self, n, m int, direct []float64) *DestSample {
-	pop := n - 1
+func drawStratified(rng *rand.Rand, p roster, m int, direct []float64) *DestSample {
+	pop := p.size()
 	if m > pop {
 		m = pop
 	}
 	if m < numStrata {
 		// Too small to stratify meaningfully.
-		return drawUniform(rng, self, n, m)
+		return drawUniform(rng, p, m)
 	}
-	cuts := stratumCuts(rng, self, n, direct)
+	cuts := stratumCuts(rng, p, direct)
 	per := m / numStrata
 	extra := m % numStrata
 	reservoirs := make([][]int, numStrata)
@@ -287,10 +347,8 @@ func drawStratified(rng *rand.Rand, self, n, m int, direct []float64) *DestSampl
 		reservoirs[h] = make([]int, 0, want[h])
 	}
 	popN := make([]int, numStrata)
-	for j := 0; j < n; j++ {
-		if j == self {
-			continue
-		}
+	for x := 0; x < pop; x++ {
+		j := p.at(x)
 		h := stratumIndex(cuts, direct[j])
 		popN[h]++
 		// Reservoir sampling: keeps a uniform without-replacement sample
@@ -326,18 +384,17 @@ func drawStratified(rng *rand.Rand, self, n, m int, direct []float64) *DestSampl
 // stratumCuts estimates the quartile cut points of the direct-cost
 // distribution from a small pilot subsample, so stratification costs
 // O(pilot·log pilot) instead of O(n·log n) per draw.
-func stratumCuts(rng *rand.Rand, self, n int, direct []float64) [numStrata - 1]float64 {
+func stratumCuts(rng *rand.Rand, p roster, direct []float64) [numStrata - 1]float64 {
 	const pilot = 128
+	pop := p.size()
 	var vals []float64
-	if n-1 <= pilot {
-		for j := 0; j < n; j++ {
-			if j != self {
-				vals = append(vals, direct[j])
-			}
+	if pop <= pilot {
+		for x := 0; x < pop; x++ {
+			vals = append(vals, direct[p.at(x)])
 		}
 	} else {
 		for i := 0; i < pilot; i++ {
-			vals = append(vals, direct[skipSelf(rng.Intn(n-1), self)])
+			vals = append(vals, direct[p.at(rng.Intn(pop))])
 		}
 	}
 	sort.Float64s(vals)

@@ -278,3 +278,88 @@ func TestDrawFullRoster(t *testing.T) {
 		}
 	}
 }
+
+// TestDrawFromSubsetOnly checks every strategy's masked draw stays
+// inside the given id subset and never includes self — the alive-roster
+// contract of the scale engine under churn.
+func TestDrawFromSubsetOnly(t *testing.T) {
+	const n = 200
+	_, pref, direct := population(n, 3)
+	var ids []int
+	inIDs := map[int]bool{}
+	for j := 0; j < n; j += 3 { // every third node is alive
+		ids = append(ids, j)
+		inIDs[j] = true
+	}
+	self := ids[10]
+	for _, spec := range []Spec{{Uniform, 20}, {Demand, 20}, {Stratified, 20}} {
+		ds, err := spec.DrawFrom(rand.New(rand.NewSource(7)), self, ids, pref, direct)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if len(ds.Dests) == 0 {
+			t.Fatalf("%v: empty draw", spec)
+		}
+		for _, j := range ds.Dests {
+			if !inIDs[j] {
+				t.Fatalf("%v: drew %d outside the subset", spec, j)
+			}
+			if j == self {
+				t.Fatalf("%v: drew self", spec)
+			}
+		}
+	}
+}
+
+// TestDrawFromUnbiased checks the HT estimate over a masked draw
+// targets the subset total (not the full-range total), within a few
+// percent over many repetitions.
+func TestDrawFromUnbiased(t *testing.T) {
+	const n = 300
+	y, pref, direct := population(n, 5)
+	var ids []int
+	for j := 0; j < n; j++ {
+		if j%2 == 0 {
+			ids = append(ids, j)
+		}
+	}
+	self := ids[0]
+	truth := 0.0
+	for _, j := range ids {
+		if j != self {
+			truth += y[j]
+		}
+	}
+	for _, spec := range []Spec{{Uniform, 30}, {Demand, 30}, {Stratified, 30}} {
+		rng := rand.New(rand.NewSource(11))
+		const reps = 400
+		sum := 0.0
+		for r := 0; r < reps; r++ {
+			ds, err := spec.DrawFrom(rng, self, ids, pref, direct)
+			if err != nil {
+				t.Fatalf("%v: %v", spec, err)
+			}
+			sum += ds.Estimate(func(j int) float64 { return y[j] }).Total
+		}
+		mean := sum / reps
+		if rel := math.Abs(mean-truth) / truth; rel > 0.05 {
+			t.Errorf("%v: mean estimate %f vs subset total %f (rel err %.3f)", spec, mean, truth, rel)
+		}
+	}
+}
+
+// TestDrawFromTiny covers the degenerate sub-populations: one node
+// besides self works, self-only errors.
+func TestDrawFromTiny(t *testing.T) {
+	_, pref, direct := population(10, 1)
+	ds, err := (Spec{Uniform, 5}).DrawFrom(rand.New(rand.NewSource(1)), 3, []int{3, 7}, pref, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Dests) != 1 || ds.Dests[0] != 7 {
+		t.Fatalf("draw over {3,7}\\{3} = %v, want [7]", ds.Dests)
+	}
+	if _, err := (Spec{Uniform, 5}).DrawFrom(rand.New(rand.NewSource(1)), 3, []int{3}, pref, direct); err == nil {
+		t.Fatal("self-only sub-population accepted")
+	}
+}

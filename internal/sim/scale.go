@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
+	"egoist/internal/churn"
 	"egoist/internal/core"
 	"egoist/internal/graph"
 	"egoist/internal/par"
@@ -106,6 +108,20 @@ type ScaleConfig struct {
 	// both the objective and the demand-proportional sampler. Must be
 	// safe for concurrent calls.
 	Demand func(i, j int) float64
+	// DemandAt, when non-nil, overrides Demand with a per-epoch demand
+	// function — the scenario harness's demand shifts. The engine
+	// re-draws every node's destination sample against the epoch's
+	// weights, so a shift propagates into the dynamics within one
+	// epoch. The returned function must be safe for concurrent calls.
+	DemandAt func(epoch int) func(i, j int) float64
+	// Churn, when non-nil, drives dynamic membership: event times are
+	// in epoch units, fractional times land between stagger sub-rounds.
+	// Joins bootstrap a wiring over the alive roster and enter the
+	// facility directory; leaves orphan their in-links immediately
+	// (heartbeat semantics), putting the victims on the rescue path.
+	// Membership events repair the directory incrementally — see the
+	// invariant note above runScaleChurn.
+	Churn *churn.Schedule
 	// Net overrides the default constant-memory geographic underlay
 	// (underlay.NewLite(N, Seed+1)).
 	Net ScaleNet
@@ -182,6 +198,23 @@ func (c *ScaleConfig) withDefaults() (ScaleConfig, error) {
 	if out.Net.N() != out.N {
 		return out, fmt.Errorf("sim: net has %d nodes, config %d", out.Net.N(), out.N)
 	}
+	if out.Churn != nil {
+		if out.Churn.N != out.N {
+			return out, fmt.Errorf("sim: churn schedule has %d nodes, config %d", out.Churn.N, out.N)
+		}
+		if err := out.Churn.Validate(); err != nil {
+			return out, err
+		}
+		alive := 0
+		for _, on := range out.Churn.InitialOn {
+			if on {
+				alive++
+			}
+		}
+		if alive < out.K+2 {
+			return out, fmt.Errorf("sim: only %d nodes initially alive, need >= K+2 = %d", alive, out.K+2)
+		}
+	}
 	return out, nil
 }
 
@@ -197,6 +230,14 @@ type ScaleEpoch struct {
 	MeanBand float64
 	// PoolSize is the facility directory size this epoch.
 	PoolSize int
+	// Joins and Leaves count the membership events applied during this
+	// epoch; Alive is the alive node count at the epoch's end. Acted
+	// counts the nodes that computed a proposal — zero when a drained
+	// overlay sat the epoch out, in which case MeanEstCost/MeanBand
+	// are meaningless zeros.
+	Joins, Leaves int
+	Alive         int
+	Acted         int
 	// WallNS is the epoch's wall-clock nanoseconds (pool refresh +
 	// proposals + adoption). Excluded from determinism comparisons.
 	WallNS int64
@@ -210,11 +251,18 @@ type ScaleResult struct {
 	Converged bool
 	// PerEpoch holds each epoch's measurements.
 	PerEpoch []ScaleEpoch
-	// Wiring is the final overlay wiring.
+	// Wiring is the final overlay wiring (nil rows for departed nodes).
 	Wiring [][]int
 	// MeanSampleSize is the mean realized destination-sample size (the
 	// Demand strategy's Poisson draw makes it random).
 	MeanSampleSize float64
+	// Joins and Leaves total the membership events applied over the run.
+	Joins, Leaves int
+	// DirectoryResets counts full facility-directory rebuilds (one per
+	// epoch by design) and DirectoryApplies its incremental repairs.
+	// The churn tests pin the maintenance invariant on them: membership
+	// events must never trigger a full rebuild.
+	DirectoryResets, DirectoryApplies int
 }
 
 // scalePool is the epoch's facility directory: member ids and one
@@ -232,9 +280,10 @@ type scalePool struct {
 
 // rebuild recomputes the directory membership for the epoch — all wired
 // targets (trimmed to the cap by in-degree, ties to lower ids) plus the
-// epoch's explorer rotation — and runs the full per-member Dijkstras.
-// Within the epoch, apply keeps the rows exact incrementally.
-func (sp *scalePool) rebuild(c *ScaleConfig, wiring [][]int, epoch, workers int) {
+// epoch's explorer rotation and any nodes that joined since the last
+// rebuild — and runs the full per-member Dijkstras. Within the epoch,
+// apply/addMember/dropMember keep the rows exact incrementally.
+func (sp *scalePool) rebuild(c *ScaleConfig, eng *scaleEngine, epoch, workers int) {
 	n := c.N
 	if sp.rows == nil {
 		sp.rows = graph.NewDynamicRows()
@@ -247,7 +296,9 @@ func (sp *scalePool) rebuild(c *ScaleConfig, wiring [][]int, epoch, workers int)
 		sp.member[i] = false
 	}
 	sp.gbuild.Resize(n)
-	for u, ws := range wiring {
+	// Dead nodes hold no out-links and their in-links were dropped at
+	// the leave event, so indeg-driven membership is alive-only.
+	for u, ws := range eng.wiring {
 		for _, v := range ws {
 			sp.gbuild.AddArc(u, v, c.Net.Delay(u, v))
 			sp.indeg[v]++
@@ -274,19 +325,58 @@ func (sp *scalePool) rebuild(c *ScaleConfig, wiring [][]int, epoch, workers int)
 		}
 		sp.ids = sp.ids[:c.PoolTarget]
 	}
+	// Fresh joiners keep their directory seat through the rebuild after
+	// their join epoch, so the overlay can discover them even before
+	// they attract an in-link.
+	for _, v := range eng.recentJoins {
+		if eng.active[v] && !sp.member[v] {
+			sp.member[v] = true
+			sp.ids = append(sp.ids, v)
+		}
+	}
+	eng.recentJoins = eng.recentJoins[:0]
 	// Explorer rotation: a consecutive id block shifted by the epoch, so
 	// every node periodically appears in the directory even with zero
 	// in-links and the whole roster is covered every n/PoolExplore
-	// epochs.
+	// epochs. Departed nodes sit the rotation out.
 	for e := 0; e < c.PoolExplore; e++ {
 		v := (epoch*c.PoolExplore + e) % n
-		if !sp.member[v] {
+		if !sp.member[v] && eng.active[v] {
 			sp.member[v] = true
 			sp.ids = append(sp.ids, v)
 		}
 	}
 	sort.Ints(sp.ids)
 	sp.rows.Reset(sp.gbuild, sp.ids, workers)
+}
+
+// addMember bootstraps node v into the live directory with one fresh
+// Dijkstra row — the per-join incremental path. sp.ids stays aligned
+// with the rows' source order (Reset preserves it, AddSource appends,
+// dropMember mirrors RemoveSource's swap).
+func (sp *scalePool) addMember(v int) {
+	if sp.member[v] {
+		return
+	}
+	sp.member[v] = true
+	sp.rows.AddSource(v)
+	sp.ids = append(sp.ids, v)
+}
+
+// dropMember removes a departed node's row from the live directory,
+// mirroring DynamicRows.RemoveSource's O(1) swap on sp.ids so
+// positional row access stays aligned.
+func (sp *scalePool) dropMember(v int) {
+	if !sp.member[v] {
+		return
+	}
+	sp.member[v] = false
+	if s := sp.rows.SlotOf(v); s >= 0 {
+		last := len(sp.ids) - 1
+		sp.ids[s] = sp.ids[last]
+		sp.ids = sp.ids[:last]
+		sp.rows.RemoveSource(v)
+	}
 }
 
 // apply folds one sub-round's adopted re-wirings into the directory
@@ -340,9 +430,270 @@ type scaleWorker struct {
 // scaleProposal is one node's phase output.
 type scaleProposal struct {
 	set     []int // nil: keep current wiring
+	acted   bool  // false: node was inactive (or skipped) this epoch
 	estCost float64
 	estBand float64
 	samples int
+}
+
+// scaleEngine is the mutable run state shared by the epoch loop and the
+// churn-event machinery.
+type scaleEngine struct {
+	c      *ScaleConfig
+	wiring [][]int
+	pool   *scalePool
+	active []bool
+	// aliveIDs is the sorted alive roster, nil when Churn is nil (the
+	// static path keeps its original full-range sampling). Rebuilt after
+	// every event batch; proposals read it concurrently in between.
+	aliveIDs []int
+	// inlinks[v] lists the alive nodes currently wiring v (unordered),
+	// nil when Churn is nil. It is what lets a leave event find and
+	// orphan the victims in O(in-degree) instead of O(n·k).
+	inlinks     [][]int32
+	recentJoins []int
+	churnAt     int
+	evIdx       int // monotonically counts applied events (join-RNG derivation)
+	joins       int // per-epoch counters, reset by the epoch loop
+	leaves      int
+
+	editsBuf []graph.RowEdit
+	arcsBuf  []graph.Arc
+}
+
+// aliveCount reports the current alive population size.
+func (e *scaleEngine) aliveCount() int {
+	if e.aliveIDs == nil {
+		return e.c.N
+	}
+	return len(e.aliveIDs)
+}
+
+// rebuildAlive refreshes the sorted alive roster after an event batch.
+func (e *scaleEngine) rebuildAlive() {
+	e.aliveIDs = e.aliveIDs[:0]
+	for v, on := range e.active {
+		if on {
+			e.aliveIDs = append(e.aliveIDs, v)
+		}
+	}
+}
+
+func (e *scaleEngine) addInlink(v, u int) {
+	if e.inlinks != nil {
+		e.inlinks[v] = append(e.inlinks[v], int32(u))
+	}
+}
+
+func (e *scaleEngine) removeInlink(v, u int) {
+	if e.inlinks == nil {
+		return
+	}
+	l := e.inlinks[v]
+	for x := range l {
+		if l[x] == int32(u) {
+			l[x] = l[len(l)-1]
+			e.inlinks[v] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// adoptWiring installs node i's new wiring, keeping the reverse index
+// current (both wirings are sorted; merge-diff).
+func (e *scaleEngine) adoptWiring(i int, set []int) {
+	if e.inlinks != nil {
+		old := e.wiring[i]
+		a, b := 0, 0
+		for a < len(old) || b < len(set) {
+			switch {
+			case b >= len(set) || (a < len(old) && old[a] < set[b]):
+				e.removeInlink(old[a], i)
+				a++
+			case a >= len(old) || set[b] < old[a]:
+				e.addInlink(set[b], i)
+				b++
+			default:
+				a++
+				b++
+			}
+		}
+	}
+	e.wiring[i] = set
+}
+
+// runScaleChurn applies every membership event scheduled before time t
+// (in epoch units).
+//
+// Directory-repair-on-leave invariant: membership events NEVER trigger
+// a full directory rebuild — the per-epoch rebuild is the only caller
+// of DynamicRows.Reset (pinned by TestScaleChurnIncrementalDirectory).
+// A leave drops the departed node's row (O(1) swap), clears its
+// out-arcs and rewrites each orphaned in-neighbor's arc set through
+// DynamicRows.Apply, whose repair cost is proportional to the affected
+// shortest-path subtrees; a join costs one Dijkstra row (AddSource)
+// plus one Apply for its bootstrap arcs. poolLive is false at the
+// epoch boundary, where the imminent per-epoch rebuild absorbs the
+// membership change and per-event pool repair would be wasted work.
+func (e *scaleEngine) runScaleChurn(t float64, poolLive bool) {
+	c := e.c
+	if c.Churn == nil {
+		return
+	}
+	events := c.Churn.Events
+	changed := false
+	for e.churnAt < len(events) && events[e.churnAt].Time < t {
+		ev := events[e.churnAt]
+		e.churnAt++
+		if ev.On == e.active[ev.Node] {
+			continue
+		}
+		e.evIdx++
+		changed = true
+		if ev.On {
+			e.join(ev.Node, poolLive)
+		} else {
+			e.leave(ev.Node, poolLive)
+		}
+	}
+	if changed {
+		e.rebuildAlive()
+	}
+}
+
+// join turns v on: bootstrap wiring over the alive roster (same recipe
+// as the epoch -1 bootstrap, from a per-event deterministic RNG) and a
+// seat in the facility directory.
+func (e *scaleEngine) join(v int, poolLive bool) {
+	c := e.c
+	e.active[v] = true
+	e.joins++
+	// The alive roster does not include v yet; that is exactly the
+	// population a newcomer may wire. A joiner into an empty overlay
+	// waits unwired for company.
+	var w []int
+	if len(e.aliveIDs) > 0 {
+		rng := policyRNG(c.Seed, -2-e.evIdx, v)
+		w = c.bootstrapWiring(rng, v, e.aliveIDs)
+	}
+	e.wiring[v] = w
+	for _, u := range w {
+		e.addInlink(u, v)
+	}
+	e.recentJoins = append(e.recentJoins, v)
+	if poolLive {
+		e.arcsBuf = e.arcsBuf[:0]
+		for _, u := range w {
+			e.arcsBuf = append(e.arcsBuf, graph.Arc{To: u, W: c.Net.Delay(v, u)})
+		}
+		e.pool.rows.Apply([]graph.RowEdit{{Node: v, NewOut: e.arcsBuf}})
+		e.pool.addMember(v)
+	}
+}
+
+// leave turns v off with heartbeat semantics: every in-neighbor drops
+// its link to v immediately, and a node whose last link dies re-wires
+// unconditionally at its next sub-round slot — the rescue path.
+func (e *scaleEngine) leave(v int, poolLive bool) {
+	e.active[v] = false
+	e.leaves++
+	e.editsBuf = e.editsBuf[:0]
+	e.arcsBuf = e.arcsBuf[:0]
+	for _, ui := range e.inlinks[v] {
+		u := int(ui)
+		ws := e.wiring[u]
+		for x, tgt := range ws {
+			if tgt == v {
+				e.wiring[u] = append(ws[:x], ws[x+1:]...)
+				break
+			}
+		}
+		if poolLive {
+			start := len(e.arcsBuf)
+			for _, tgt := range e.wiring[u] {
+				e.arcsBuf = append(e.arcsBuf, graph.Arc{To: tgt, W: e.c.Net.Delay(u, tgt)})
+			}
+			e.editsBuf = append(e.editsBuf, graph.RowEdit{Node: u, NewOut: e.arcsBuf[start:len(e.arcsBuf):len(e.arcsBuf)]})
+		}
+	}
+	e.inlinks[v] = e.inlinks[v][:0]
+	for _, tgt := range e.wiring[v] {
+		e.removeInlink(tgt, v)
+	}
+	e.wiring[v] = nil
+	if poolLive {
+		// Drop the dead member's row first so it is not repaired, then
+		// fold the orphaned re-wirings and v's cleared out-set into the
+		// surviving rows incrementally.
+		e.pool.dropMember(v)
+		e.editsBuf = append(e.editsBuf, graph.RowEdit{Node: v})
+		e.pool.rows.Apply(e.editsBuf)
+	}
+}
+
+// bootstrapWiring is the shared join recipe: wire the closest member of
+// a small uniform probe plus K-1 uniform random picks — over the full
+// roster (aliveIDs nil, the static path's original behavior) or the
+// alive roster under churn. The random majority keeps the bootstrap
+// overlay strongly connected; see the bootstrap note in RunScale.
+func (c *ScaleConfig) bootstrapWiring(rng *rand.Rand, i int, aliveIDs []int) []int {
+	probeSpec := sampling.Spec{Strategy: sampling.Uniform, M: 4 * c.K}
+	var probe *sampling.DestSample
+	var err error
+	if aliveIDs == nil {
+		probe, err = probeSpec.Draw(rng, i, c.N, nil, nil)
+	} else {
+		probe, err = probeSpec.DrawFrom(rng, i, aliveIDs, nil, nil)
+	}
+	if err != nil {
+		// Unreachable: populations are validated non-empty before any
+		// bootstrap (withDefaults and the K+2 churn floor).
+		panic(err)
+	}
+	cands := probe.Dests
+	closest := 0
+	for x, j := range cands {
+		if c.Net.Delay(i, j) < c.Net.Delay(i, cands[closest]) {
+			closest = x
+		}
+	}
+	w := []int{cands[closest]}
+	have := map[int]bool{i: true, cands[closest]: true}
+	if aliveIDs == nil {
+		for len(w) < c.K {
+			j := rng.Intn(c.N)
+			if !have[j] {
+				have[j] = true
+				w = append(w, j)
+			}
+		}
+	} else {
+		// The alive population may be smaller than K+1; wire what exists.
+		limit := len(aliveIDs)
+		for _, v := range aliveIDs {
+			if v == i {
+				limit--
+				break
+			}
+		}
+		for len(w) < c.K && len(w) < limit {
+			j := aliveIDs[rng.Intn(len(aliveIDs))]
+			if !have[j] {
+				have[j] = true
+				w = append(w, j)
+			}
+		}
+	}
+	sort.Ints(w)
+	return w
+}
+
+// demandFor resolves the epoch's demand function.
+func (c *ScaleConfig) demandFor(epoch int) func(i, j int) float64 {
+	if c.DemandAt != nil {
+		return c.DemandAt(epoch)
+	}
+	return c.Demand
 }
 
 // RunScale executes one large-scale sampled simulation.
@@ -354,45 +705,47 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	n := c.N
 	workers := par.Workers(c.Workers)
 	ws := make([]*scaleWorker, workers)
-	wiring := make([][]int, n)
-	pool := &scalePool{}
+	eng := &scaleEngine{
+		c:      &c,
+		wiring: make([][]int, n),
+		pool:   &scalePool{},
+		active: make([]bool, n),
+	}
+	for i := range eng.active {
+		eng.active[i] = true
+	}
+	if c.Churn != nil {
+		copy(eng.active, c.Churn.InitialOn)
+		eng.inlinks = make([][]int32, n)
+		eng.rebuildAlive()
+	}
 
-	// Bootstrap epoch (-1): every node wires its closest member of a
-	// small uniform sample plus K-1 uniform random nodes from the whole
-	// roster. The random majority is what makes the bootstrap overlay
-	// strongly connected with high probability — an all-closest
-	// bootstrap shatters into geographic islands the myopic sampled
-	// dynamics then have to stitch back together — and full-roster
-	// randomness gives (almost) every node an initial in-link, which the
-	// retention pricing below needs to keep it reachable.
+	// Bootstrap epoch (-1): every initially-alive node wires its closest
+	// member of a small uniform sample plus K-1 uniform random nodes
+	// from the (alive) roster. The random majority is what makes the
+	// bootstrap overlay strongly connected with high probability — an
+	// all-closest bootstrap shatters into geographic islands the myopic
+	// sampled dynamics then have to stitch back together — and
+	// full-roster randomness gives (almost) every node an initial
+	// in-link, which the retention pricing below needs to keep it
+	// reachable.
 	err = par.DoErr(n, c.Workers, func(worker, i int) error {
+		if !eng.active[i] {
+			return nil
+		}
 		rng := policyRNG(c.Seed, -1, i)
-		probe, err := sampling.Spec{Strategy: sampling.Uniform, M: 4 * c.K}.Draw(rng, i, n, nil, nil)
-		if err != nil {
-			return err
-		}
-		cands := probe.Dests
-		closest := 0
-		for x, j := range cands {
-			if c.Net.Delay(i, j) < c.Net.Delay(i, cands[closest]) {
-				closest = x
-			}
-		}
-		w := []int{cands[closest]}
-		have := map[int]bool{i: true, cands[closest]: true}
-		for len(w) < c.K {
-			j := rng.Intn(n)
-			if !have[j] {
-				have[j] = true
-				w = append(w, j)
-			}
-		}
-		sort.Ints(w)
-		wiring[i] = w
+		eng.wiring[i] = c.bootstrapWiring(rng, i, eng.aliveIDs)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if eng.inlinks != nil {
+		for i, w := range eng.wiring {
+			for _, v := range w {
+				eng.addInlink(v, i)
+			}
+		}
 	}
 
 	// Fixed batch partition: node i acts in sub-round i mod B.
@@ -407,6 +760,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	var rewired []int
 	for epoch := 0; epoch < c.MaxEpochs; epoch++ {
 		start := time.Now()
+		eng.joins, eng.leaves = 0, 0
+		// Later epochs find their past events already drained by the
+		// previous epoch's end-of-epoch call; this start-of-run sweep
+		// (before the first rebuild, which absorbs it for free) only
+		// catches events scheduled before epoch 0.
+		eng.runScaleChurn(float64(epoch), false)
 		// Membership is fixed for the epoch (full per-member Dijkstras
 		// once); the sub-round loop below keeps the rows exact against
 		// the live wiring via incremental repair. The stagger only
@@ -415,18 +774,37 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		// play — every node re-wires trusting distances that its peers'
 		// simultaneous re-wirings have already invalidated, and the
 		// overlay collapses into a state nobody evaluated.
-		pool.rebuild(&c, wiring, epoch, workers)
-		ep := ScaleEpoch{PoolSize: len(pool.ids)}
+		eng.pool.rebuild(&c, eng, epoch, workers)
+		demand := c.demandFor(epoch)
+		ep := ScaleEpoch{PoolSize: len(eng.pool.ids)}
 		samples := 0
-		for _, batch := range batches {
+		acted := 0
+		for b, batch := range batches {
+			if b > 0 {
+				// Mid-epoch membership events land between sub-rounds
+				// and repair the live directory incrementally.
+				eng.runScaleChurn(float64(epoch)+float64(b)/float64(len(batches)), true)
+			}
+			// A drained overlay (fewer alive nodes than a wiring needs)
+			// sits the proposal phase out until joins replenish it.
+			if eng.aliveCount() < c.K+2 {
+				for _, i := range batch {
+					props[i].acted = false
+				}
+				continue
+			}
 			err := par.DoErr(len(batch), c.Workers, func(worker, bi int) error {
 				i := batch[bi]
+				if !eng.active[i] {
+					props[i] = scaleProposal{}
+					return nil
+				}
 				w := ws[worker]
 				if w == nil {
 					w = &scaleWorker{}
 					ws[worker] = w
 				}
-				p, err := c.proposeScale(w, wiring, pool, epoch, i)
+				p, err := c.proposeScale(w, eng, epoch, i, demand)
 				if err != nil {
 					return err
 				}
@@ -441,26 +819,42 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 			// rows — the coarse stagger.
 			rewired = rewired[:0]
 			for _, i := range batch {
+				if !props[i].acted {
+					continue
+				}
+				acted++
 				if props[i].set != nil {
-					if !sameWiring(wiring[i], props[i].set) {
+					if !sameWiring(eng.wiring[i], props[i].set) {
 						ep.Rewires++
 						rewired = append(rewired, i)
 					}
-					wiring[i] = props[i].set
+					eng.adoptWiring(i, props[i].set)
 				}
 				ep.MeanEstCost += props[i].estCost
 				ep.MeanBand += props[i].estBand
 				samples += props[i].samples
 			}
-			pool.apply(&c, rewired, wiring)
+			eng.pool.apply(&c, rewired, eng.wiring)
 		}
-		ep.MeanEstCost /= float64(n)
-		ep.MeanBand /= float64(n)
+		// Drain the last sub-round window's events before the epoch
+		// closes: without this, events scheduled inside the final
+		// 1/StaggerBatches of the run's last epoch would silently never
+		// apply while pendingEvents still counted them.
+		eng.runScaleChurn(float64(epoch+1), true)
+		if acted > 0 {
+			ep.MeanEstCost /= float64(acted)
+			ep.MeanBand /= float64(acted)
+			res.MeanSampleSize += float64(samples) / float64(acted)
+		}
+		ep.Acted = acted
+		ep.Joins, ep.Leaves = eng.joins, eng.leaves
+		ep.Alive = eng.aliveCount()
 		ep.WallNS = time.Since(start).Nanoseconds()
 		res.PerEpoch = append(res.PerEpoch, ep)
-		res.MeanSampleSize += float64(samples) / float64(n)
+		res.Joins += eng.joins
+		res.Leaves += eng.leaves
 		res.Epochs++
-		if float64(ep.Rewires) <= c.ConvergedFrac*float64(n) {
+		if float64(ep.Rewires) <= c.ConvergedFrac*float64(eng.aliveCount()) && !eng.pendingEvents() {
 			res.Converged = true
 			break
 		}
@@ -468,26 +862,41 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	if res.Epochs > 0 {
 		res.MeanSampleSize /= float64(res.Epochs)
 	}
-	res.Wiring = wiring
+	res.Wiring = eng.wiring
+	if eng.pool.rows != nil {
+		res.DirectoryResets = eng.pool.rows.Resets()
+		res.DirectoryApplies = eng.pool.rows.Applies()
+	}
 	return res, nil
+}
+
+// pendingEvents reports whether unapplied membership events remain
+// inside the run's horizon — convergence must not stop the run before
+// the schedule has played out.
+func (e *scaleEngine) pendingEvents() bool {
+	c := e.c
+	return c.Churn != nil && e.churnAt < len(c.Churn.Events) &&
+		c.Churn.Events[e.churnAt].Time < float64(c.MaxEpochs)
 }
 
 // proposeScale computes node i's sampled best response against the
 // current wiring (stable for the duration of the node's batch) and the
-// epoch's pool rows.
-func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePool, epoch, i int) (scaleProposal, error) {
+// epoch's pool rows. demand is the epoch's demand function (may be
+// nil for uniform preferences).
+func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, epoch, i int, demand func(i, j int) float64) (scaleProposal, error) {
 	n := c.N
+	wiring, pool := eng.wiring, eng.pool
 	rng := policyRNG(c.Seed, epoch, i)
 
 	// Draw the destination sample with the strategy's required inputs.
 	var pref, direct []float64
-	if c.Demand != nil {
+	if demand != nil {
 		if w.prefBuf == nil {
 			w.prefBuf = make([]float64, n)
 		}
 		for j := 0; j < n; j++ {
 			if j != i {
-				w.prefBuf[j] = c.Demand(i, j)
+				w.prefBuf[j] = demand(i, j)
 			}
 		}
 		pref = w.prefBuf
@@ -503,7 +912,16 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 		}
 		direct = w.dirBuf
 	}
-	ds, err := c.Sample.Draw(rng, i, n, pref, direct)
+	// Under dynamic membership the draw runs over the alive roster, so
+	// the sample — and with it the certainty-inclusion set and the HT
+	// expansion — prices exactly the overlay that exists right now.
+	var ds *sampling.DestSample
+	var err error
+	if eng.aliveIDs != nil {
+		ds, err = c.Sample.DrawFrom(rng, i, eng.aliveIDs, pref, direct)
+	} else {
+		ds, err = c.Sample.Draw(rng, i, n, pref, direct)
+	}
 	if err != nil {
 		return scaleProposal{}, err
 	}
@@ -548,7 +966,9 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 	w.gcands = w.gcands[:0]
 	w.grows = w.grows[:0]
 	addCand := func(v int, row []float64) {
-		if v == i || w.lid[v] >= 0 {
+		// Departed nodes are never candidates: their rows are stale and
+		// a link to them carries nothing.
+		if v == i || w.lid[v] >= 0 || !eng.active[v] {
 			return
 		}
 		if row == nil {
@@ -586,9 +1006,9 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 		for _, x := range w.order[:nearDests] {
 			addCand(ds.Dests[x], nil)
 		}
-		if c.Demand != nil {
+		if demand != nil {
 			for x, j := range ds.Dests {
-				w.delay[x] = -c.Demand(i, j)
+				w.delay[x] = -demand(i, j)
 				w.order[x] = x
 			}
 			sort.Slice(w.order, func(a, b int) bool {
@@ -700,8 +1120,8 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 	}
 	for b, gb := range w.gcands {
 		w.direct[b] = c.Net.Delay(i, gb)
-		if c.Demand != nil {
-			w.pref[b] = c.Demand(i, gb)
+		if demand != nil {
+			w.pref[b] = demand(i, gb)
 		} else {
 			w.pref[b] = 1
 		}
@@ -737,8 +1157,8 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 			d = core.DisconnectedPenalty
 		}
 		var p float64 = 1
-		if c.Demand != nil {
-			p = c.Demand(i, j)
+		if demand != nil {
+			p = demand(i, j)
 		}
 		return p * d
 	})
@@ -788,7 +1208,7 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, wiring [][]int, pool *scalePo
 		}
 		adopt = improve > threshold
 	}
-	p := scaleProposal{samples: len(ds.Dests)}
+	p := scaleProposal{acted: true, samples: len(ds.Dests)}
 	if adopt {
 		p.set = make([]int, len(chosen))
 		for x, l := range chosen {

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"egoist/internal/churn"
+	"egoist/internal/sampling"
+)
+
+// emptySchedule is an all-on schedule with no events: it routes the run
+// through the dynamic-membership machinery (alive-masked sampling,
+// reverse index) without ever changing membership, which is how the
+// rescue test obtains a byte-identical prefix for its churned twin.
+func emptySchedule(n int) *churn.Schedule {
+	s := &churn.Schedule{N: n, InitialOn: make([]bool, n)}
+	for i := range s.InitialOn {
+		s.InitialOn[i] = true
+	}
+	return s
+}
+
+// waveSchedule turns the given nodes off (or on) at time t.
+func waveSchedule(n int, t float64, nodes []int, on bool) *churn.Schedule {
+	s := emptySchedule(n)
+	if on {
+		for _, v := range nodes {
+			s.InitialOn[v] = false
+		}
+	}
+	for _, v := range nodes {
+		s.Events = append(s.Events, churn.Event{Time: t, Node: v, On: on})
+	}
+	return s
+}
+
+// TestScaleChurnDeterministicAcrossWorkers is the dynamic-membership
+// determinism contract: a run with joins, leaves and a demand flip must
+// be byte-identical at any worker count.
+func TestScaleChurnDeterministicAcrossWorkers(t *testing.T) {
+	const n = 120
+	sched := emptySchedule(n)
+	for v := 0; v < n; v += 9 { // leaves spread across epochs 1..2
+		sched.Events = append(sched.Events, churn.Event{Time: 1 + float64(v)/float64(n), Node: v, On: false})
+	}
+	for v := 3; v < n; v += 11 { // rejoining and fresh joins in epoch 3
+		sched.Events = append(sched.Events, churn.Event{Time: 3 + float64(v)/float64(n), Node: v, On: true})
+	}
+	hotA := func(i, j int) float64 { return 1 + float64((i+j)%5) }
+	hotB := func(i, j int) float64 { return 1 + float64((i+2*j)%7) }
+	base := ScaleConfig{
+		N: n, K: 3, Seed: 17, MaxEpochs: 6,
+		Sample: sampling.Spec{Strategy: sampling.Demand, M: 25},
+		Churn:  sched,
+		DemandAt: func(epoch int) func(i, j int) float64 {
+			if epoch >= 4 {
+				return hotB
+			}
+			return hotA
+		},
+	}
+	cfgA := base
+	cfgA.Workers = 1
+	cfgB := base
+	cfgB.Workers = 8
+	a, err := RunScale(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScale(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(a), stripWall(b)) {
+		t.Fatal("Workers 1 vs 8 diverged under churn")
+	}
+	if a.Leaves == 0 || a.Joins == 0 {
+		t.Fatalf("schedule did not exercise both event kinds: joins=%d leaves=%d", a.Joins, a.Leaves)
+	}
+}
+
+// TestScaleChurnIncrementalDirectory pins the directory-maintenance
+// invariant: membership events mid-epoch repair the facility directory
+// incrementally — a full DynamicRows rebuild happens exactly once per
+// epoch, never per event.
+func TestScaleChurnIncrementalDirectory(t *testing.T) {
+	const n = 150
+	sched := emptySchedule(n)
+	// A mid-epoch leave wave plus scattered joins/leaves across epochs.
+	for v := 0; v < 20; v++ {
+		sched.Events = append(sched.Events, churn.Event{Time: 2.5, Node: v * 3, On: false})
+	}
+	for v := 0; v < 10; v++ {
+		sched.Events = append(sched.Events, churn.Event{Time: 3.5, Node: v * 3, On: true})
+	}
+	res, err := RunScale(ScaleConfig{
+		N: n, K: 3, Seed: 23, MaxEpochs: 6, Workers: 2,
+		Sample: sampling.Spec{Strategy: sampling.Uniform, M: 30},
+		Churn:  sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaves != 20 || res.Joins != 10 {
+		t.Fatalf("events applied: joins=%d leaves=%d, want 10/20", res.Joins, res.Leaves)
+	}
+	if res.DirectoryResets != res.Epochs {
+		t.Fatalf("directory fully rebuilt %d times over %d epochs: membership events must repair incrementally",
+			res.DirectoryResets, res.Epochs)
+	}
+	if res.DirectoryApplies == 0 {
+		t.Fatal("no incremental directory repairs recorded")
+	}
+}
+
+// TestScaleRescueWithinOneEpoch is the rescue-path property: a node
+// whose last neighbor departs must re-wire within one epoch. The
+// churned run shares a byte-identical prefix with an event-free twin
+// (both run the dynamic path), so the victim's wiring at the event
+// epoch is known exactly and the kill provably orphans it.
+func TestScaleRescueWithinOneEpoch(t *testing.T) {
+	const n, k, batches, preEpochs = 150, 3, 16, 3
+	for _, seed := range []int64{1, 2, 3} {
+		base := ScaleConfig{
+			N: n, K: k, Seed: seed, Workers: 2,
+			Sample:         sampling.Spec{Strategy: sampling.Uniform, M: 30},
+			StaggerBatches: batches,
+			ConvergedFrac:  -1, // never stop early: the prefix must span all epochs
+		}
+		pre := base
+		pre.MaxEpochs = preEpochs
+		pre.Churn = emptySchedule(n)
+		preRes, err := RunScale(pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The victim acts in sub-round x mod batches = 5, safely after
+		// the kill lands (before sub-round 1), so its whole wiring is
+		// provably orphaned when its slot comes — within the same epoch.
+		const x = 5
+		victims := append([]int(nil), preRes.Wiring[x]...)
+		if len(victims) == 0 {
+			t.Fatalf("seed %d: victim has no wiring to kill", seed)
+		}
+		run := base
+		run.MaxEpochs = preEpochs + 1
+		run.Churn = waveSchedule(n, preEpochs, victims, false)
+		res, err := RunScale(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Leaves != len(victims) {
+			t.Fatalf("seed %d: %d leaves applied, want %d (prefix diverged?)", seed, res.Leaves, len(victims))
+		}
+		dead := map[int]bool{}
+		for _, v := range victims {
+			dead[v] = true
+		}
+		w := res.Wiring[x]
+		if len(w) == 0 {
+			t.Fatalf("seed %d: orphaned node %d did not re-wire within the event epoch", seed, x)
+		}
+		for _, v := range w {
+			if dead[v] {
+				t.Fatalf("seed %d: node %d still wired to departed node %d", seed, x, v)
+			}
+		}
+		// Global invariant: every alive node ends wired, to alive
+		// targets only.
+		for i, wi := range res.Wiring {
+			if dead[i] {
+				if wi != nil {
+					t.Fatalf("seed %d: departed node %d kept wiring %v", seed, i, wi)
+				}
+				continue
+			}
+			if len(wi) == 0 {
+				t.Fatalf("seed %d: alive node %d ended unwired", seed, i)
+			}
+			for _, v := range wi {
+				if dead[v] {
+					t.Fatalf("seed %d: node %d wired to departed node %d", seed, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleLeaveWaveRecovery is the small-scale version of the headline
+// acceptance run: after a 5% leave wave the mean estimated cost must
+// return to within 5% of its pre-event value within 3 epochs.
+func TestScaleLeaveWaveRecovery(t *testing.T) {
+	const n, k = 400, 4
+	const waveEpoch = 4
+	var victims []int
+	for v := 0; v < n && len(victims) < n/20; v += 20 {
+		victims = append(victims, v)
+	}
+	res, err := RunScale(ScaleConfig{
+		N: n, K: k, Seed: 2008, Workers: 2, MaxEpochs: waveEpoch + 4,
+		Sample:        sampling.Spec{Strategy: sampling.Demand, M: 60},
+		Churn:         waveSchedule(n, waveEpoch+0.3, victims, false),
+		ConvergedFrac: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < waveEpoch+4 {
+		t.Fatalf("run stopped after %d epochs", res.Epochs)
+	}
+	pre := res.PerEpoch[waveEpoch-1].MeanEstCost
+	recovered := -1
+	for d := 1; waveEpoch+d < res.Epochs; d++ {
+		if res.PerEpoch[waveEpoch+d].MeanEstCost <= pre*1.05 {
+			recovered = d
+			break
+		}
+	}
+	if recovered < 0 || recovered > 3 {
+		costs := make([]float64, res.Epochs)
+		for e, ep := range res.PerEpoch {
+			costs[e] = ep.MeanEstCost
+		}
+		t.Fatalf("no recovery within 3 epochs of the wave (pre=%.1f, costs=%v)", pre, costs)
+	}
+}
+
+// TestScaleJoinWave checks a flash-crowd join wave integrates: joiners
+// end up wired to alive targets and the overlay keeps converging.
+func TestScaleJoinWave(t *testing.T) {
+	const n = 200
+	var joiners []int
+	for v := 0; v < n; v += 4 { // 25% of the roster joins at epoch 3
+		joiners = append(joiners, v)
+	}
+	res, err := RunScale(ScaleConfig{
+		N: n, K: 3, Seed: 5, Workers: 2, MaxEpochs: 8,
+		Sample: sampling.Spec{Strategy: sampling.Uniform, M: 30},
+		Churn:  waveSchedule(n, 3.1, joiners, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins != len(joiners) {
+		t.Fatalf("joins applied = %d, want %d", res.Joins, len(joiners))
+	}
+	for _, v := range joiners {
+		if len(res.Wiring[v]) == 0 {
+			t.Fatalf("joiner %d ended unwired", v)
+		}
+	}
+	last := res.PerEpoch[res.Epochs-1]
+	if last.Alive != n {
+		t.Fatalf("alive at end = %d, want %d", last.Alive, n)
+	}
+}
+
+// TestScaleChurnRejectsBadConfig covers the churn validation paths.
+func TestScaleChurnRejectsBadConfig(t *testing.T) {
+	spec := sampling.Spec{Strategy: sampling.Uniform, M: 10}
+	wrongN := emptySchedule(30)
+	if _, err := RunScale(ScaleConfig{N: 50, K: 3, Sample: spec, Churn: wrongN}); err == nil {
+		t.Error("churn schedule with wrong N accepted")
+	}
+	drained := emptySchedule(50)
+	for v := 3; v < 50; v++ {
+		drained.InitialOn[v] = false // only 3 alive < K+2
+	}
+	if _, err := RunScale(ScaleConfig{N: 50, K: 3, Sample: spec, Churn: drained}); err == nil {
+		t.Error("near-empty initial roster accepted")
+	}
+	unordered := emptySchedule(20)
+	unordered.Events = []churn.Event{{Time: 2, Node: 1, On: false}, {Time: 1, Node: 2, On: false}}
+	if _, err := RunScale(ScaleConfig{N: 20, K: 3, Sample: spec, Churn: unordered}); err == nil {
+		t.Error("out-of-order schedule accepted")
+	}
+}

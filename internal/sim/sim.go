@@ -117,6 +117,12 @@ type Config struct {
 	// Result.WeightedCost additionally reports the preference-weighted
 	// cost. With Workers > 1, Pref must be safe for concurrent calls.
 	Pref func(i, j int) float64
+	// PrefAt, when non-nil, overrides Pref with a per-epoch preference
+	// function — the scenario harness's demand shifts. The epoch's
+	// function is resolved once at the epoch boundary and drives both
+	// the wiring policies and the weighted-cost measurements of that
+	// epoch. The returned function must be safe for concurrent calls.
+	PrefAt func(epoch int) func(i, j int) float64
 	// Workers sets the parallelism of the per-epoch best-response phase:
 	// every node's proposal is computed concurrently against the
 	// epoch-start link-state snapshot by up to Workers goroutines. Zero (or
@@ -178,8 +184,15 @@ type Result struct {
 	// EpochsRun is the total number of epochs simulated.
 	EpochsRun int
 	// WeightedCost summarizes the preference-weighted per-node cost when
-	// Config.Pref is set (zero Summary otherwise).
+	// Config.Pref (or PrefAt) is set (zero Summary otherwise).
 	WeightedCost measure.Summary
+	// PerEpochCost is the mean true cost over alive nodes at each
+	// measured epoch's end (indexed by epoch - WarmEpochs) — the series
+	// the scenario harness reads recovery times off. NaN when no node
+	// was alive at the snapshot. PerEpochAlive is the alive count at
+	// the same snapshots.
+	PerEpochCost  []float64
+	PerEpochAlive []int
 }
 
 // state is the mutable simulation state.
@@ -198,6 +211,7 @@ type state struct {
 	est     [][]float64 // est[i][j]: i's current estimate of direct cost i->j
 	churnAt int         // next churn event index
 	order   []int       // staggered re-wire order
+	pref    func(i, j int) float64
 
 	// epochDirty records whether the announced link-state has changed since
 	// the current epoch's proposal snapshot (a node re-wired, membership
@@ -258,6 +272,11 @@ func newState(cfg Config) (*state, error) {
 		active:  make([]bool, cfg.N),
 		wiring:  make([][]int, cfg.N),
 		est:     make([][]float64, cfg.N),
+	}
+	st.pref = cfg.Pref
+	if cfg.PrefAt != nil {
+		// The initial join below plays under the first epoch's demand.
+		st.pref = cfg.PrefAt(0)
 	}
 	st.pinger = probe.NewPinger(cfg.Seed+2, noise, 0.3, st.account)
 	st.bwEst = probe.NewBandwidthEstimator(cfg.Seed+3, 0.05, st.account)
@@ -536,15 +555,16 @@ func (st *state) applyChurn(t float64, counter func(links int)) (bool, error) {
 	return changed, nil
 }
 
-// prefRow materializes node i's preference vector, or nil for uniform.
+// prefRow materializes node i's preference vector for the current
+// epoch, or nil for uniform.
 func (st *state) prefRow(i int) []float64 {
-	if st.cfg.Pref == nil {
+	if st.pref == nil {
 		return nil
 	}
 	row := make([]float64, st.cfg.N)
 	for j := 0; j < st.cfg.N; j++ {
 		if j != i {
-			row[j] = st.cfg.Pref(i, j)
+			row[j] = st.pref(i, j)
 		}
 	}
 	return row
@@ -634,7 +654,8 @@ func (st *state) run() (*Result, error) {
 	effSamples := make([]int, cfg.N)
 	weighted := make([]float64, cfg.N)
 
-	snapshot := func() {
+	hasPref := cfg.Pref != nil || cfg.PrefAt != nil
+	snapshot := func(endOfEpoch bool) {
 		// The connectivity fallback of k-Random/k-Closest is maintained
 		// continuously by the deployed systems; apply it before observing.
 		st.enforceCycleIfNeeded()
@@ -642,24 +663,38 @@ func (st *state) run() (*Result, error) {
 		costs := measure.NodeCosts(tg, cfg.Metric.Kind(), st.active)
 		effs := measure.Efficiency(tg, st.active)
 		var wcosts []float64
-		if cfg.Pref != nil {
-			wcosts = measure.WeightedNodeCosts(tg, cfg.Metric.Kind(), st.active, cfg.Pref)
+		if st.pref != nil {
+			wcosts = measure.WeightedNodeCosts(tg, cfg.Metric.Kind(), st.active, st.pref)
 		}
+		epochSum, epochAlive := 0.0, 0
 		for i := 0; i < cfg.N; i++ {
 			if st.active[i] {
 				res.PerNodeCost[i] += costs[i]
 				costSamples[i]++
 				res.PerNodeEfficiency[i] += effs[i]
 				effSamples[i]++
+				epochSum += costs[i]
+				epochAlive++
 				if wcosts != nil {
 					weighted[i] += wcosts[i]
 				}
 			}
 		}
+		if endOfEpoch {
+			if epochAlive > 0 {
+				res.PerEpochCost = append(res.PerEpochCost, epochSum/float64(epochAlive))
+			} else {
+				res.PerEpochCost = append(res.PerEpochCost, nan())
+			}
+			res.PerEpochAlive = append(res.PerEpochAlive, epochAlive)
+		}
 	}
 
 	total := cfg.WarmEpochs + cfg.MeasureEpochs
 	for epoch := 0; epoch < total; epoch++ {
+		if cfg.PrefAt != nil {
+			st.pref = cfg.PrefAt(epoch)
+		}
 		st.und.Step(1)
 		st.refreshEstimates()
 		counter := func(links int) { res.Rewires.Record(epoch, links) }
@@ -683,7 +718,7 @@ func (st *state) run() (*Result, error) {
 				// come yet still carry links broken by churn, so transient
 				// disconnections show up in the measurements the way the
 				// paper's continuous monitoring sees them.
-				snapshot()
+				snapshot(false)
 			}
 			if !st.active[i] {
 				continue
@@ -709,7 +744,7 @@ func (st *state) run() (*Result, error) {
 		}
 
 		if epoch >= cfg.WarmEpochs {
-			snapshot()
+			snapshot(true)
 		}
 	}
 
@@ -724,7 +759,7 @@ func (st *state) run() (*Result, error) {
 	}
 	res.Cost = measure.Summarize(res.PerNodeCost)
 	res.Efficiency = measure.Summarize(res.PerNodeEfficiency)
-	if cfg.Pref != nil {
+	if hasPref {
 		for i := 0; i < cfg.N; i++ {
 			if costSamples[i] > 0 {
 				weighted[i] /= float64(costSamples[i])
