@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"egoist/internal/clitest"
+	"egoist/internal/experiments"
+)
+
+// TestMainInProcess drives the convert path and a passing gate in
+// process for coverage (subprocess smoke binaries run uninstrumented;
+// see clitest.RunMain).
+func TestMainInProcess(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "out.json")
+	clitest.RunMain(t, main, "benchjson", "-in", in, "-out", outJSON)
+	base := filepath.Join(dir, "baseline.json")
+	baseline := []experiments.BenchRecord{{Name: "BenchmarkBestResponseScratch/scratch", NsPerOp: 880000, N: 3}}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clitest.RunMain(t, main, "benchjson", "-in", in, "-out", outJSON,
+		"-baseline", base, "-gate", "^BenchmarkBestResponseScratch/scratch$", "-threshold", "1.25")
+}
+
+// Smoke test: the unit tests in main_test.go cover parse and gate in
+// process; this builds the real binary and runs the -in/-out pipeline
+// the CI bench job invokes, asserting exit status and that the
+// artifact parses back as BenchRecords.
+
+// TestSmokeConvert converts a bench fixture to JSON end to end.
+func TestSmokeConvert(t *testing.T) {
+	bin := clitest.Build(t, "benchjson")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "out.json")
+	out, err := exec.Command(bin, "-in", in, "-out", outJSON).CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchjson: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []experiments.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, data)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records converted")
+	}
+	found := false
+	for _, r := range recs {
+		if r.Name == "BenchmarkBestResponseScratch/scratch" && r.NsPerOp == 900000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("best-of scratch record missing: %+v", recs)
+	}
+}
+
+// TestSmokeGateTrips checks the regression gate exits non-zero when
+// the current run is slower than the baseline beyond the threshold.
+func TestSmokeGateTrips(t *testing.T) {
+	bin := clitest.Build(t, "benchjson")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "baseline.json")
+	baseline := []experiments.BenchRecord{{Name: "BenchmarkBestResponseScratch/scratch", NsPerOp: 100000, N: 3}}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-in", in, "-out", filepath.Join(dir, "out.json"),
+		"-baseline", base, "-gate", "^BenchmarkBestResponseScratch/scratch$", "-threshold", "1.25").CombinedOutput()
+	if err == nil {
+		t.Fatalf("9x regression passed the 1.25x gate:\n%s", out)
+	}
+}

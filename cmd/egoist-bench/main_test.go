@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egoist/internal/clitest"
+	"egoist/internal/scenario"
+)
+
+// TestMainInProcess drives main()'s scenario, list and scale paths in
+// process for coverage (subprocess smoke binaries run uninstrumented;
+// see clitest.RunMain).
+func TestMainInProcess(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "smoke.json")
+	spec := `{"name":"bench-main-smoke","engine":"scale","n":60,"k":2,"seed":7,"epochs":2,"sample":"uniform:8"}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "out.json")
+	clitest.RunMain(t, main, "egoist-bench", "-scenario", specPath, "-workers", "2", "-scenarios-json", outJSON)
+	if _, err := scenario.ReadMetricsJSON(outJSON); err != nil {
+		t.Fatal(err)
+	}
+	clitest.RunMain(t, main, "egoist-bench", "-list")
+	clitest.RunMain(t, main, "egoist-bench", "-scale", "80", "-sample", "uniform:10", "-k", "2", "-epochs", "2", "-workers", "2",
+		"-bench-json", filepath.Join(dir, "scale.json"))
+}
+
+// Smoke tests: build the real binary and drive its scenario mode end
+// to end, asserting exit status and that the JSON artifact it writes
+// parses back — the contract the CI scenario matrix and the nightly
+// 10k job depend on.
+
+// TestSmokeScenarioJSON runs one tiny spec file through -scenario and
+// round-trips the BENCH_scenarios.json artifact.
+func TestSmokeScenarioJSON(t *testing.T) {
+	bin := clitest.Build(t, "egoist-bench")
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "smoke.json")
+	spec := `{"name":"bench-smoke","engine":"scale","n":60,"k":2,"seed":7,"epochs":2,"sample":"uniform:8"}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "out.json")
+	out, err := exec.Command(bin, "-scenario", specPath, "-workers", "2", "-scenarios-json", outJSON).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egoist-bench -scenario: %v\n%s", err, out)
+	}
+	recs, err := scenario.ReadMetricsJSON(outJSON)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, out)
+	}
+	if len(recs) != 1 || recs[0].Scenario != "bench-smoke" || recs[0].Engine != "scale" {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+	if recs[0].Epochs != 2 || len(recs[0].CostPerEpoch) != 2 {
+		t.Fatalf("record incomplete: %+v", recs[0])
+	}
+}
+
+// TestSmokeBuiltinScenario resolves a built-in scenario by name — the
+// exact invocation shape of the nightly leave-wave-10k job, on the
+// smallest builtin.
+func TestSmokeBuiltinScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builtin scenario run in -short mode")
+	}
+	bin := clitest.Build(t, "egoist-bench")
+	outJSON := filepath.Join(t.TempDir(), "out.json")
+	out, err := exec.Command(bin, "-scenario", "flash-crowd", "-workers", "2", "-scenarios-json", outJSON).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egoist-bench -scenario flash-crowd: %v\n%s", err, out)
+	}
+	recs, err := scenario.ReadMetricsJSON(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Scenario != "flash-crowd" {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+}
+
+// TestSmokeList checks -list prints the figure index and exits 0.
+func TestSmokeList(t *testing.T) {
+	bin := clitest.Build(t, "egoist-bench")
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("egoist-bench -list: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) == "" {
+		t.Fatal("-list printed nothing")
+	}
+}
+
+// TestSmokeUnknownScenarioFails checks a bad -scenario argument exits
+// non-zero.
+func TestSmokeUnknownScenarioFails(t *testing.T) {
+	bin := clitest.Build(t, "egoist-bench")
+	out, err := exec.Command(bin, "-scenario", "no-such-scenario").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown scenario accepted:\n%s", out)
+	}
+}

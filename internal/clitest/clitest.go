@@ -1,0 +1,50 @@
+// Package clitest holds the shared harness of the cmd/* smoke suites:
+// building the command under test as a real binary, and invoking its
+// main() in process so main's own statements appear in the coverage
+// profile (a built binary runs uninstrumented).
+package clitest
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Build compiles the package in the test's working directory (the
+// command under test) into a temp dir and returns the binary path.
+// Skips the test when no go toolchain is on PATH.
+func Build(t *testing.T, name string) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// RunMain invokes the caller's main() inside the test binary with the
+// given argv (args[0] is the command name), swapping os.Args and
+// flag.CommandLine for the duration and routing stdout to /dev/null.
+// Only happy paths may run this way: every CLI failure path calls
+// os.Exit, which would kill the test binary.
+func RunMain(t *testing.T, mainFn func(), args ...string) {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() { os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout }()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	os.Stdout = devnull
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ExitOnError)
+	os.Args = args
+	mainFn()
+}

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"sync/atomic"
+
 	"egoist/internal/par"
 )
 
@@ -19,6 +21,17 @@ import (
 // Repaired distances are exactly the distances a fresh Dijkstra on the
 // edited graph would produce (same left-to-right per-path folds, same
 // minima), so callers can treat rows as always-fresh.
+//
+// Concurrency contract: Reset, Apply, AddSource and RemoveSource are
+// mutations and must run with no other call in flight. Between
+// mutations, every read — Row, RowAt, Graph, Sources, SlotOf — is safe
+// from any number of goroutines concurrently: the scale engine's
+// parallel proposal phase prices candidates off these rows from all
+// workers at once, and the adoption/churn mutations run strictly
+// serially in between. The contract is enforced two ways: the readers
+// panic if they observe a mutation in flight (a cheap atomic flag, so
+// misuse fails loudly even without -race), and the race-detector
+// stress suites hammer concurrent reads against serial mutations.
 type DynamicRows struct {
 	g       *Digraph
 	rev     [][]Arc // reverse adjacency: rev[v] lists arcs u->v as {To: u, W: w}
@@ -36,6 +49,27 @@ type DynamicRows struct {
 	// directory-maintenance invariant on them: membership events must
 	// never trigger a full rebuild, only Apply/AddSource/RemoveSource.
 	resets, applies int
+
+	// mutating is set for the duration of every mutation; readers check
+	// it to fail loudly on a contract violation (reads racing a
+	// mutation would otherwise return silently corrupt distances).
+	mutating atomic.Bool
+}
+
+// beginMutate flags a mutation in flight; the returned func clears it.
+func (r *DynamicRows) beginMutate() func() {
+	if r.mutating.Swap(true) {
+		panic("graph: concurrent DynamicRows mutations")
+	}
+	return func() { r.mutating.Store(false) }
+}
+
+// checkRead panics when a reader races a mutation — the misuse the
+// concurrency contract above rules out.
+func (r *DynamicRows) checkRead() {
+	if r.mutating.Load() {
+		panic("graph: DynamicRows read during Reset/Apply/AddSource/RemoveSource")
+	}
 }
 
 // dynEdit is one node's out-set replacement with its prior arcs.
@@ -65,15 +99,24 @@ type RowEdit struct {
 func NewDynamicRows() *DynamicRows { return &DynamicRows{} }
 
 // Graph exposes the maintained graph. Callers may read it (e.g. run
-// their own searches) between Reset/Apply calls but must not mutate it.
-func (r *DynamicRows) Graph() *Digraph { return r.g }
+// their own searches, concurrently) between mutations but must not
+// mutate it.
+func (r *DynamicRows) Graph() *Digraph {
+	r.checkRead()
+	return r.g
+}
 
 // Sources returns the current source set (aliased; do not modify).
-func (r *DynamicRows) Sources() []int { return r.sources }
+func (r *DynamicRows) Sources() []int {
+	r.checkRead()
+	return r.sources
+}
 
 // Row returns the distance row of node v, or nil if v is not a source.
-// The row is valid until the next Reset/Apply.
+// The row is valid until the next mutation; concurrent reads between
+// mutations are safe.
 func (r *DynamicRows) Row(v NodeID) []float64 {
+	r.checkRead()
 	if s := r.slot[v]; s >= 0 {
 		return r.dist[s]
 	}
@@ -81,10 +124,16 @@ func (r *DynamicRows) Row(v NodeID) []float64 {
 }
 
 // RowAt returns the i-th source's distance row.
-func (r *DynamicRows) RowAt(i int) []float64 { return r.dist[i] }
+func (r *DynamicRows) RowAt(i int) []float64 {
+	r.checkRead()
+	return r.dist[i]
+}
 
 // SlotOf returns the row index of source v, or -1 if v is not a source.
-func (r *DynamicRows) SlotOf(v NodeID) int { return int(r.slot[v]) }
+func (r *DynamicRows) SlotOf(v NodeID) int {
+	r.checkRead()
+	return int(r.slot[v])
+}
 
 // Resets reports how many full rebuilds (Reset calls) have run.
 func (r *DynamicRows) Resets() int { return r.resets }
@@ -95,6 +144,7 @@ func (r *DynamicRows) Applies() int { return r.applies }
 // Reset rebuilds everything: graph copy, reverse adjacency, and one
 // full Dijkstra row per source, fanned out over workers (0 = NumCPU).
 func (r *DynamicRows) Reset(g *Digraph, sources []int, workers int) {
+	defer r.beginMutate()()
 	r.resets++
 	n := g.N()
 	if r.g == nil {
@@ -176,6 +226,7 @@ func (r *DynamicRows) Apply(edits []RowEdit) {
 	if len(edits) == 0 {
 		return
 	}
+	defer r.beginMutate()()
 	r.applies++
 	r.edits = r.edits[:0]
 	for _, e := range edits {
@@ -211,6 +262,7 @@ func (r *DynamicRows) AddSource(v NodeID) {
 	if r.slot[v] >= 0 {
 		return
 	}
+	defer r.beginMutate()()
 	n := r.g.N()
 	i := len(r.sources)
 	r.slot[v] = int32(i)
@@ -239,6 +291,7 @@ func (r *DynamicRows) RemoveSource(v NodeID) {
 	if s < 0 {
 		return
 	}
+	defer r.beginMutate()()
 	last := len(r.sources) - 1
 	moved := r.sources[last]
 	r.sources[s] = moved

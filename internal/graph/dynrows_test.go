@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -66,6 +67,91 @@ func TestDynamicRowsMatchesFresh(t *testing.T) {
 		}
 		r.Apply(edits)
 		check("after Apply")
+	}
+}
+
+// TestDynamicRowsConcurrentReads exercises the concurrency contract
+// the scale engine's proposal phase relies on: between mutations, any
+// number of goroutines may read rows and the maintained graph
+// concurrently and must all observe the same exact distances. The
+// serial mutations between read phases are the misuse boundary — under
+// -race this test proves the read phase is clean, and the mutation
+// guard would panic if a reader ever overlapped a mutation.
+func TestDynamicRowsConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, readers = 80, 8
+	weight := func(u, v int) float64 { return 1 + float64((u*13+v*29)%53)/9 }
+	randomOut := func(u, deg int) []Arc {
+		seen := map[int]bool{u: true}
+		var out []Arc
+		for len(out) < deg {
+			v := rng.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, Arc{To: v, W: weight(u, v)})
+			}
+		}
+		return out
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for _, a := range randomOut(u, 3) {
+			g.AddArc(u, a.To, a.W)
+		}
+	}
+	sources := []int{0, 5, 11, 17, 23, 42}
+	r := NewDynamicRows()
+	r.Reset(g, sources, 2)
+
+	for round := 0; round < 20; round++ {
+		// Reference snapshot, then a concurrent read storm against it.
+		want := make([][]float64, len(sources))
+		for i := range sources {
+			want[i] = append([]float64(nil), r.RowAt(i)...)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan string, readers)
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, s := range sources {
+					row := r.Row(s)
+					at := r.RowAt(i)
+					for v := 0; v < n; v++ {
+						if row[v] != want[i][v] || at[v] != want[i][v] {
+							select {
+							case errc <- "concurrent read diverged from snapshot":
+							default:
+							}
+							return
+						}
+					}
+					if r.SlotOf(s) != i {
+						select {
+						case errc <- "SlotOf diverged":
+						default:
+						}
+					}
+					_ = r.Graph().Out(s) // graph reads share the same contract
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case msg := <-errc:
+			t.Fatalf("round %d: %s", round, msg)
+		default:
+		}
+		// Serial mutation window: out-set edits plus source churn.
+		u := rng.Intn(n)
+		r.Apply([]RowEdit{{Node: u, NewOut: randomOut(u, 1+rng.Intn(4))}})
+		if round%5 == 4 {
+			v := sources[len(sources)-1]
+			r.RemoveSource(v)
+			r.AddSource(v)
+			sources = append(sources[:len(sources)-1], v)
+		}
 	}
 }
 

@@ -69,6 +69,16 @@ func ParseStrategy(s string) (Strategy, error) {
 
 // Spec is a parsed sampling specification: a strategy plus a target
 // sample size, e.g. "demand:500".
+//
+// A Spec is an immutable value and draws share no hidden state: all
+// randomness comes from the *rand.Rand the caller passes in, consumed
+// deterministically. That is the contract the scale engine's parallel
+// proposal phase builds on — each node draws from its own
+// per-(epoch,node) seeded stream, so the sample (and everything priced
+// off it) is independent of worker count and scheduling. Concurrent
+// Draw/DrawFrom calls are safe whenever each goroutine owns its rng
+// (*rand.Rand itself is not safe for shared use); pref/direct may be
+// shared read-only.
 type Spec struct {
 	Strategy Strategy
 	// M is the target sample size (exact for Uniform/Stratified, the

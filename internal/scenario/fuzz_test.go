@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzSpecDecode fuzzes the spec ingestion surface — strict JSON decode
+// plus Validate — the exact path every hand-written scenario file takes
+// through Load, the CLI tools and the CI matrix. Seeds are the
+// committed ci/scenarios corpus plus adversarial shapes. Properties:
+// decode+Validate never panic, and a spec that validates must
+// round-trip through Marshal into a spec that still validates (a spec
+// the harness accepts but cannot re-save losslessly would corrupt
+// saved scenario files). Small valid specs must also compile — the
+// timeline/churn lowering is the trickiest consumer of a decoded spec.
+//
+// CI runs this as a short -fuzztime smoke step; run it longer locally
+// with: go test ./internal/scenario -run '^$' -fuzz FuzzSpecDecode
+func FuzzSpecDecode(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "ci", "scenarios", "*.json"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add(`{}`)
+	f.Add(`{"name":"x","n":10,"k":2,"epochs":3}`)
+	f.Add(`{"name":"x","n":10,"k":2,"epochs":3,"events":[{"epoch":1,"kind":"leave_wave","frac":0.5}]}`)
+	f.Add(`{"name":"x","n":40,"k":3,"epochs":5,"churn":{"process":"pareto","on_mean":2,"off_mean":1,"alpha":-3}}`)
+	f.Add(`{"name":"x","n":40,"k":3,"epochs":5,"demand":{"kind":"hotspot","hotspots":-1},"events":[{"epoch":0.5,"kind":"demand_flip"}]}`)
+	f.Add(`{"name":"x","n":8,"k":2,"epochs":4,"events":[{"epoch":2,"kind":"outage","region":3,"regions":8}]}`)
+	f.Add(`{"name":"", "n":-1,"k":0,"epochs":0}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"name":"x","n":1e9,"k":2,"epochs":3}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		dec := json.NewDecoder(strings.NewReader(data))
+		dec.DisallowUnknownFields()
+		var s Spec
+		if err := dec.Decode(&s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		// Round-trip: re-save, strict re-decode, re-validate.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v (%+v)", err, s)
+		}
+		dec2 := json.NewDecoder(strings.NewReader(string(out)))
+		dec2.DisallowUnknownFields()
+		var s2 Spec
+		if err := dec2.Decode(&s2); err != nil {
+			t.Fatalf("round-trip decode failed: %v\n%s", err, out)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("round-tripped spec no longer validates: %v\n%s", err, out)
+		}
+		// Compile the timeline/churn lowering for specs small enough to
+		// bound the synthetic event count (compile allocates O(n) state
+		// and ~n·epochs/(on+off) events; arbitrary valid sizes would turn
+		// the fuzzer into a memory stress test instead of a bug hunt).
+		if s.N > 200 || s.Epochs > 20 {
+			return
+		}
+		if c := s.Churn; c != nil && c.Process != "static" && (c.OnMean < 0.1 || c.OffMean < 0.1) {
+			return
+		}
+		if _, err := s.compile(); err != nil {
+			t.Fatalf("valid small spec failed to compile: %v\n%s", err, out)
+		}
+	})
+}

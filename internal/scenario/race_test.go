@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the equivalence suite uses it to trim its slowest legs so
+// the CI race run stays inside its timeout.
+const raceEnabled = true

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"egoist/internal/churn"
+	"egoist/internal/sampling"
+)
+
+// This file is the scale engine's side of the PR-4 equivalence suite:
+// the propose/apply split (see the contract comment in scale.go) must
+// make ScaleResult a pure function of (config, seed) — byte-identical
+// JSON for workers ∈ {1, 2, 4} — and the parallel proposal phase must
+// survive the race detector while churn events mutate the facility
+// directory between sub-rounds.
+
+// churnHeavyConfig is a run that exercises every serial mutation the
+// proposal phase can interleave with: mid-epoch leave waves, rejoins,
+// fresh joins and a demand flip, over a fine stagger so directory
+// repairs land between many small parallel proposal batches.
+func churnHeavyConfig(workers int) ScaleConfig {
+	const n = 160
+	sched := emptySchedule(n)
+	for v := 0; v < n; v += 7 { // leaves spread across epochs 1..2
+		sched.Events = append(sched.Events, churn.Event{Time: 1 + float64(v)/float64(n), Node: v, On: false})
+	}
+	for v := 0; v < n; v += 5 { // mid-epoch-3 wave: rejoins and fresh leaves
+		on := v%2 == 0
+		sched.Events = append(sched.Events, churn.Event{Time: 3.4 + float64(v)/float64(4*n), Node: v, On: on})
+	}
+	hotA := func(i, j int) float64 { return 1 + float64((i+j)%5) }
+	hotB := func(i, j int) float64 { return 1 + float64((i+3*j)%6) }
+	return ScaleConfig{
+		N: n, K: 3, Seed: 41, MaxEpochs: 6, Workers: workers,
+		Sample:         sampling.Spec{Strategy: sampling.Demand, M: 28},
+		StaggerBatches: 20,
+		ConvergedFrac:  -1, // run the full horizon so every event lands
+		Churn:          sched,
+		DemandAt: func(epoch int) func(i, j int) float64 {
+			if epoch >= 4 {
+				return hotB
+			}
+			return hotA
+		},
+	}
+}
+
+// resultJSON marshals a wall-clock-stripped ScaleResult for byte
+// comparison.
+func resultJSON(t *testing.T, r *ScaleResult) []byte {
+	t.Helper()
+	data, err := json.Marshal(stripWall(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScaleResultJSONByteIdenticalAcrossWorkers pins the acceptance
+// criterion on the engine output itself: the marshaled ScaleResult of
+// a churn-heavy run is byte-identical for workers 1, 2 and 4.
+func TestScaleResultJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	ref, err := RunScale(churnHeavyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Joins == 0 || ref.Leaves == 0 {
+		t.Fatalf("run exercised no churn: joins=%d leaves=%d", ref.Joins, ref.Leaves)
+	}
+	refJSON := resultJSON(t, ref)
+	for _, workers := range []int{2, 4} {
+		got, err := RunScale(churnHeavyConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotJSON := resultJSON(t, got); !bytes.Equal(refJSON, gotJSON) {
+			t.Fatalf("workers=1 vs workers=%d ScaleResult JSON diverged", workers)
+		}
+	}
+}
+
+// TestScaleConcurrentDirectoryReadsRace is the -race stress half of the
+// suite: a churn-heavy run at a worker count well above the batch size,
+// so every sub-round has all workers reading the facility directory
+// (DynamicRows rows and graph) that the serial sections between
+// sub-rounds keep mutating via Apply/AddSource/RemoveSource. Any read
+// racing a mutation trips the race detector here — or, even without
+// -race, the DynamicRows mutation guard.
+func TestScaleConcurrentDirectoryReadsRace(t *testing.T) {
+	cfg := churnHeavyConfig(8)
+	cfg.MaxEpochs = 4
+	res, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectoryApplies == 0 {
+		t.Fatal("stress run never repaired the directory incrementally")
+	}
+}

@@ -457,8 +457,85 @@ type scaleEngine struct {
 	joins       int // per-epoch counters, reset by the epoch loop
 	leaves      int
 
-	editsBuf []graph.RowEdit
-	arcsBuf  []graph.Arc
+	editsBuf   []graph.RowEdit
+	arcsBuf    []graph.Arc
+	rewiredBuf []int
+}
+
+// The propose/apply split — the scale engine's determinism contract.
+//
+// Each stagger sub-round is two phases. proposeBatch is the parallel
+// half: every node of the batch computes its sampled best response
+// concurrently against a strictly read-only view of the run state —
+// the wiring, the facility directory (graph + rows, constant between
+// DynamicRows mutations), the alive roster and the epoch's demand
+// function. Each job draws its randomness from its own policyRNG(Seed,
+// epoch, i) stream and writes only props[i] and its per-worker scratch,
+// so no observable value depends on which worker ran a job or in what
+// order jobs finished. adoptBatch is the serial half: it folds the
+// batch's proposals into the wiring in ascending node-id order (the
+// batch partition is fixed: node i acts in sub-round i mod B) and then
+// repairs the directory rows, so the state the NEXT sub-round reads is
+// a pure function of (config, seed) — never of scheduling. Churn
+// events land between sub-rounds, in the same serial section.
+//
+// Consequence, pinned by TestScaleDeterministicAcrossWorkers, the
+// churn twin-run suites and the ci/scenarios engine-equivalence suite:
+// ScaleResult is byte-identical (WallNS aside) for any Workers value.
+// Anything added to the proposal phase must preserve both halves of
+// the contract: no writes to shared state, no RNG stream shared across
+// jobs.
+
+// proposeBatch computes one sub-round's proposals in parallel. props
+// slots of inactive nodes are zeroed so a stale proposal from an
+// earlier epoch can never be adopted on their behalf.
+func (e *scaleEngine) proposeBatch(ws []*scaleWorker, batch []int, epoch int, demand func(i, j int) float64, props []scaleProposal) error {
+	c := e.c
+	return par.DoErr(len(batch), c.Workers, func(worker, bi int) error {
+		i := batch[bi]
+		if !e.active[i] {
+			props[i] = scaleProposal{}
+			return nil
+		}
+		w := ws[worker]
+		if w == nil {
+			w = &scaleWorker{}
+			ws[worker] = w
+		}
+		p, err := c.proposeScale(w, e, epoch, i, demand)
+		if err != nil {
+			return err
+		}
+		props[i] = p
+		return nil
+	})
+}
+
+// adoptBatch serially folds one sub-round's proposals into the wiring
+// in ascending node-id order — the coarse stagger — then repairs the
+// directory rows incrementally. It accumulates the epoch measurements
+// into ep and returns the batch's acted-node and sample counts.
+func (e *scaleEngine) adoptBatch(batch []int, props []scaleProposal, ep *ScaleEpoch) (acted, samples int) {
+	rewired := e.rewiredBuf[:0]
+	for _, i := range batch {
+		if !props[i].acted {
+			continue
+		}
+		acted++
+		if props[i].set != nil {
+			if !sameWiring(e.wiring[i], props[i].set) {
+				ep.Rewires++
+				rewired = append(rewired, i)
+			}
+			e.adoptWiring(i, props[i].set)
+		}
+		ep.MeanEstCost += props[i].estCost
+		ep.MeanBand += props[i].estBand
+		samples += props[i].samples
+	}
+	e.pool.apply(e.c, rewired, e.wiring)
+	e.rewiredBuf = rewired
+	return acted, samples
 }
 
 // aliveCount reports the current alive population size.
@@ -757,7 +834,6 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 
 	res := &ScaleResult{}
 	props := make([]scaleProposal, n)
-	var rewired []int
 	for epoch := 0; epoch < c.MaxEpochs; epoch++ {
 		start := time.Now()
 		eng.joins, eng.leaves = 0, 0
@@ -793,48 +869,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 				}
 				continue
 			}
-			err := par.DoErr(len(batch), c.Workers, func(worker, bi int) error {
-				i := batch[bi]
-				if !eng.active[i] {
-					props[i] = scaleProposal{}
-					return nil
-				}
-				w := ws[worker]
-				if w == nil {
-					w = &scaleWorker{}
-					ws[worker] = w
-				}
-				p, err := c.proposeScale(w, eng, epoch, i, demand)
-				if err != nil {
-					return err
-				}
-				props[i] = p
-				return nil
-			})
-			if err != nil {
+			if err := eng.proposeBatch(ws, batch, epoch, demand, props); err != nil {
 				return nil, err
 			}
-			// Adopt this batch in id order before the next batch
-			// proposes, then fold the re-wirings into the directory
-			// rows — the coarse stagger.
-			rewired = rewired[:0]
-			for _, i := range batch {
-				if !props[i].acted {
-					continue
-				}
-				acted++
-				if props[i].set != nil {
-					if !sameWiring(eng.wiring[i], props[i].set) {
-						ep.Rewires++
-						rewired = append(rewired, i)
-					}
-					eng.adoptWiring(i, props[i].set)
-				}
-				ep.MeanEstCost += props[i].estCost
-				ep.MeanBand += props[i].estBand
-				samples += props[i].samples
-			}
-			eng.pool.apply(&c, rewired, eng.wiring)
+			a, s := eng.adoptBatch(batch, props, &ep)
+			acted += a
+			samples += s
 		}
 		// Drain the last sub-round window's events before the epoch
 		// closes: without this, events scheduled inside the final
