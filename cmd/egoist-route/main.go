@@ -1,0 +1,447 @@
+// Command egoist-route is the data-plane face of the repository: it
+// obtains a converged overlay wiring (by running the large-scale
+// sampled engine, or by loading a wiring file saved earlier), compiles
+// it into an immutable plane.Snapshot, and then serves route queries —
+// over HTTP, or against an embedded load generator that measures
+// lookup throughput and latency quantiles and writes the
+// BENCH_serve.json artifact CI gates on.
+//
+// Examples:
+//
+//	egoist-route -n 10000 -sample demand:500 -workers 8 \
+//	    -bench -bench-json BENCH_serve.json -baseline ci/serve_baseline.json
+//	egoist-route -n 1000 -save-wiring wiring.json
+//	egoist-route -wiring wiring.json -http 127.0.0.1:8080
+//
+// The load generator hits the in-process serving layer (the same
+// Server the HTTP handlers call), so the reported numbers are the
+// lookup paths themselves: the O(k) one-hop decision and the cached
+// shortest-path route, not HTTP framing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"egoist/internal/plane"
+	"egoist/internal/sampling"
+	"egoist/internal/sim"
+	"egoist/internal/underlay"
+)
+
+// wiringFile is the JSON schema of -save-wiring / -wiring: everything
+// needed to recompile the exact snapshot (the delay oracle is derived
+// from n and seed, like the engine's default underlay).
+type wiringFile struct {
+	N      int     `json:"n"`
+	K      int     `json:"k"`
+	Seed   int64   `json:"seed"`
+	Epoch  int64   `json:"epoch"`
+	Wiring [][]int `json:"wiring"`
+}
+
+// ServeRecord is one load-generator measurement — the BENCH_serve.json
+// schema.
+type ServeRecord struct {
+	Name    string  `json:"name"` // serve_onehop | serve_route
+	N       int     `json:"n"`
+	K       int     `json:"k"`
+	Epoch   int64   `json:"epoch"`
+	Clients int     `json:"clients"`
+	Seconds float64 `json:"seconds"`
+	Lookups int64   `json:"lookups"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P90us   float64 `json:"p90_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// baselineFile is the CI gate schema (ci/serve_baseline.json).
+type baselineFile struct {
+	MinOneHopQPS float64 `json:"min_onehop_qps"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 10000, "overlay size for the convergence run")
+		k        = flag.Int("k", 0, "degree budget (0 = 8, or 4 below 1000 nodes)")
+		sample   = flag.String("sample", "", "sampling spec strategy:m (default demand:<n/20, capped 500>)")
+		epochs   = flag.Int("epochs", 0, "epoch cap for the convergence run (0 = engine default)")
+		seed     = flag.Int64("seed", 2008, "random seed")
+		workers  = flag.Int("workers", 0, "convergence-run parallelism (0 = NumCPU; wiring is identical for any value)")
+		wiringIn = flag.String("wiring", "", "load this wiring file instead of running the engine")
+		saveW    = flag.String("save-wiring", "", "save the converged wiring to this file")
+		httpAddr = flag.String("http", "", "serve route queries over HTTP on this address")
+		bench    = flag.Bool("bench", false, "run the embedded load generator")
+		benchDur = flag.Duration("bench-duration", 3*time.Second, "load-generator duration per mode")
+		clients  = flag.Int("clients", 1, "concurrent load-generator clients (1 = the single-core number)")
+		modes    = flag.String("modes", "onehop,route", "comma-separated lookup paths to bench: onehop, route")
+		benchOut = flag.String("bench-json", "", "write BENCH_serve.json records to this path")
+		baseline = flag.String("baseline", "", "gate against this serve-baseline file (fails below min_onehop_qps)")
+		cacheRow = flag.Int("cache-rows", 256, "shortest-path row cache size (rows)")
+	)
+	flag.Parse()
+
+	srv := plane.NewServer()
+	var snap *plane.Snapshot
+	var kUsed int
+	seedUsed := *seed
+	if *wiringIn != "" {
+		wf, err := loadWiring(*wiringIn)
+		if err != nil {
+			fatal(err)
+		}
+		net, err := underlay.NewLite(wf.N, wf.Seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		snap = plane.Compile(wf.Epoch, wf.Wiring, nil, net, plane.Options{RouteCacheRows: *cacheRow})
+		kUsed = wf.K
+		// The file's seed, not the flag's: the delay oracle is derived
+		// from it, and a re-save must keep the pair consistent.
+		seedUsed = wf.Seed
+		fmt.Printf("loaded wiring: n=%d k=%d epoch=%d arcs=%d live=%d\n",
+			wf.N, wf.K, wf.Epoch, snap.NumArcs(), snap.NumLive())
+	} else {
+		var err error
+		snap, kUsed, err = converge(srv, *n, *k, *sample, *epochs, *seed, *workers, *cacheRow)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	srv.Publish(snap)
+
+	if *saveW != "" {
+		wf := wiringFile{N: snap.N(), K: kUsed, Seed: seedUsed, Epoch: snap.Epoch()}
+		wf.Wiring = wiringOf(snap)
+		if err := saveWiring(*saveW, &wf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveW)
+	}
+
+	if *bench {
+		var recs []ServeRecord
+		for _, mode := range strings.Split(*modes, ",") {
+			mode = strings.TrimSpace(mode)
+			if mode == "" {
+				continue
+			}
+			rec, err := runBench(srv, snap, kUsed, mode, *clients, *benchDur, seedUsed)
+			if err != nil {
+				fatal(err)
+			}
+			recs = append(recs, rec)
+			fmt.Printf("bench %-12s clients=%-3d lookups=%-10d qps=%-11.0f p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
+				rec.Name, rec.Clients, rec.Lookups, rec.QPS, rec.P50us, rec.P90us, rec.P99us)
+		}
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(recs, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d records)\n", *benchOut, len(recs))
+		}
+		if *baseline != "" {
+			if err := gate(recs, *baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-route: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving /route /routes /snapshot on http://%s\n", ln.Addr())
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		_ = hs.Close()
+	}
+}
+
+// converge runs the scale engine to a converged wiring, publishing
+// every epoch to srv on the way (the serving layer swaps snapshots
+// while the control plane still re-wires — exactly the production
+// shape), and returns the final snapshot.
+func converge(srv *plane.Server, n, k int, sampleSpec string, epochs int, seed int64, workers, cacheRows int) (*plane.Snapshot, int, error) {
+	if k <= 0 {
+		k = 8
+		if n < 1000 {
+			k = 4
+		}
+	}
+	if sampleSpec == "" {
+		m := n / 20
+		if m < k+2 {
+			m = k + 2
+		}
+		if m > 500 {
+			m = 500
+		}
+		sampleSpec = fmt.Sprintf("demand:%d", m)
+	}
+	spec, err := sampling.ParseSpec(sampleSpec)
+	if err != nil {
+		return nil, 0, err
+	}
+	net, err := underlay.NewLite(n, seed+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	var snap *plane.Snapshot
+	cfg := sim.ScaleConfig{
+		N: n, K: k, Seed: seed, Sample: spec,
+		MaxEpochs: epochs, Workers: workers, Net: net,
+		OnEpoch: func(epoch int, wiring [][]int, active []bool) {
+			snap = plane.Compile(int64(epoch), wiring, active, net, plane.Options{RouteCacheRows: cacheRows})
+			srv.Publish(snap)
+		},
+	}
+	start := time.Now()
+	fmt.Printf("converging: n=%d k=%d sample=%s workers=%d\n", n, k, sampleSpec, workers)
+	res, err := sim.RunScale(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	fmt.Printf("converged=%v epochs=%d arcs=%d (%v)\n",
+		res.Converged, res.Epochs, snap.NumArcs(), time.Since(start).Round(time.Millisecond))
+	return snap, k, nil
+}
+
+// wiringOf decodes a snapshot's adjacency back into wiring rows (only
+// used by -save-wiring, which wants the compiled truth, not the
+// engine's transient state).
+func wiringOf(snap *plane.Snapshot) [][]int {
+	w := make([][]int, snap.N())
+	for u := 0; u < snap.N(); u++ {
+		if snap.Live(u) {
+			w[u] = snap.Neighbors(u)
+		}
+	}
+	return w
+}
+
+func loadWiring(path string) (*wiringFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wf wiringFile
+	if err := json.Unmarshal(data, &wf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if wf.N < 2 || len(wf.Wiring) != wf.N {
+		return nil, fmt.Errorf("%s: wiring has %d rows for n=%d", path, len(wf.Wiring), wf.N)
+	}
+	for u, ws := range wf.Wiring {
+		for _, v := range ws {
+			if v < 0 || v >= wf.N {
+				return nil, fmt.Errorf("%s: node %d wires out-of-range target %d", path, u, v)
+			}
+		}
+	}
+	return &wf, nil
+}
+
+func saveWiring(path string, wf *wiringFile) error {
+	data, err := json.MarshalIndent(wf, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// latHist is a log-scale latency histogram: bucket i spans
+// [base·g^i, base·g^(i+1)) nanoseconds with g = 1.25, covering ~45ns
+// to ~80s in 96 buckets — ±12% quantile resolution, no allocation on
+// the hot path.
+type latHist struct {
+	buckets [96]int64
+	count   int64
+}
+
+const histBase = 45.0 // ns
+var histLogG = math.Log(1.25)
+
+func (h *latHist) add(ns int64) {
+	idx := 0
+	if f := float64(ns); f > histBase {
+		idx = int(math.Log(f/histBase) / histLogG)
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.buckets[idx]++
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+}
+
+// quantile returns the q-quantile in microseconds (the geometric mean
+// of the bucket's bounds).
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			lo := histBase * math.Exp(float64(i)*histLogG)
+			return lo * math.Sqrt(1.25) / 1e3
+		}
+	}
+	return histBase * math.Exp(float64(len(h.buckets))*histLogG) / 1e3
+}
+
+// runBench hammers one lookup path with the given number of client
+// goroutines for the given duration. The route mode draws sources from
+// a 64-node hot set so the row cache behaves as it does for a skewed
+// production workload (sources repeat); one-hop has no per-source
+// state to warm.
+func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clients int, dur time.Duration, seed int64) (ServeRecord, error) {
+	n := snap.N()
+	if snap.NumLive() == 0 {
+		return ServeRecord{}, fmt.Errorf("snapshot has no live nodes to bench against")
+	}
+	var hot []int
+	switch mode {
+	case "onehop":
+	case "route":
+		rng := rand.New(rand.NewSource(seed + 555))
+		seen := map[int]bool{}
+		for len(hot) < 64 && len(hot) < snap.NumLive() {
+			v := rng.Intn(n)
+			if snap.Live(v) && !seen[v] {
+				seen[v] = true
+				hot = append(hot, v)
+			}
+		}
+		sort.Ints(hot)
+		// Warm the cache so the measurement is the serving path, not
+		// the one-time row fill.
+		for _, src := range hot {
+			snap.RouteCost(src, (src+1)%n)
+		}
+	default:
+		return ServeRecord{}, fmt.Errorf("unknown bench mode %q (want onehop or route)", mode)
+	}
+
+	hists := make([]*latHist, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		hists[c] = &latHist{}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			h := hists[c]
+			for b := 0; ; b++ {
+				// Check the clock once per 64 lookups: a syscall-free
+				// time source would be nicer, but this keeps the
+				// per-lookup overhead at two monotonic reads.
+				if b%64 == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				var src, dst int
+				if mode == "route" {
+					src = hot[rng.Intn(len(hot))]
+					dst = rng.Intn(n)
+				} else {
+					src, dst = rng.Intn(n), rng.Intn(n)
+				}
+				t0 := time.Now()
+				var err error
+				if mode == "route" {
+					_, _, _, err = srv.Route(src, dst)
+				} else {
+					_, _, err = srv.OneHop(src, dst)
+				}
+				if err != nil {
+					panic(err) // ids are in range and a snapshot is published
+				}
+				h.add(time.Since(t0).Nanoseconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	total := &latHist{}
+	for _, h := range hists {
+		total.merge(h)
+	}
+	return ServeRecord{
+		Name:    "serve_" + mode,
+		N:       n,
+		K:       k,
+		Epoch:   snap.Epoch(),
+		Clients: clients,
+		Seconds: elapsed,
+		Lookups: total.count,
+		QPS:     float64(total.count) / elapsed,
+		P50us:   total.quantile(0.50),
+		P90us:   total.quantile(0.90),
+		P99us:   total.quantile(0.99),
+	}, nil
+}
+
+// gate enforces the serve baseline: the one-hop record must meet the
+// committed minimum throughput.
+func gate(recs []ServeRecord, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bl baselineFile
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if bl.MinOneHopQPS <= 0 {
+		return fmt.Errorf("%s: no min_onehop_qps", path)
+	}
+	for _, rec := range recs {
+		if rec.Name == "serve_onehop" {
+			if rec.QPS < bl.MinOneHopQPS {
+				return fmt.Errorf("one-hop throughput %.0f lookups/sec below the %.0f floor in %s",
+					rec.QPS, bl.MinOneHopQPS, path)
+			}
+			fmt.Printf("serve gate: one-hop %.0f lookups/sec >= %.0f floor\n", rec.QPS, bl.MinOneHopQPS)
+			return nil
+		}
+	}
+	return fmt.Errorf("no serve_onehop record to gate against %s", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "egoist-route: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egoist/internal/clitest"
+)
+
+// TestMainInProcess drives the converge→bench→save path in process for
+// coverage (subprocess binaries run uninstrumented).
+func TestMainInProcess(t *testing.T) {
+	dir := t.TempDir()
+	clitest.RunMain(t, main, "egoist-route",
+		"-n", "120", "-workers", "2", "-bench", "-bench-duration", "100ms",
+		"-bench-json", filepath.Join(dir, "BENCH_serve.json"),
+		"-save-wiring", filepath.Join(dir, "wiring.json"))
+}
+
+// TestSmokeBenchArtifact converges a small overlay, runs the load
+// generator, and checks the BENCH_serve.json artifact has both lookup
+// paths with sane numbers.
+func TestSmokeBenchArtifact(t *testing.T) {
+	bin := clitest.Build(t, "egoist-route")
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_serve.json")
+	out, err := exec.Command(bin, "-n", "150", "-workers", "2",
+		"-bench", "-bench-duration", "200ms", "-bench-json", jsonPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("egoist-route: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"converged=", "bench serve_onehop", "bench serve_route", "wrote"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []ServeRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("artifact not parseable: %v\n%s", err, data)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.N != 150 || rec.Lookups <= 0 || rec.QPS <= 0 || rec.Seconds <= 0 {
+			t.Errorf("degenerate record %+v", rec)
+		}
+		if rec.P50us <= 0 || rec.P99us < rec.P50us {
+			t.Errorf("bad quantiles %+v", rec)
+		}
+	}
+}
+
+// TestSmokeWiringRoundTrip saves a converged wiring, reloads it, and
+// benches from the file — the serve-without-converging path.
+func TestSmokeWiringRoundTrip(t *testing.T) {
+	bin := clitest.Build(t, "egoist-route")
+	dir := t.TempDir()
+	wiring := filepath.Join(dir, "wiring.json")
+	out, err := exec.Command(bin, "-n", "150", "-workers", "2", "-save-wiring", wiring).CombinedOutput()
+	if err != nil {
+		t.Fatalf("save: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-wiring", wiring, "-bench", "-bench-duration", "100ms", "-modes", "onehop").CombinedOutput()
+	if err != nil {
+		t.Fatalf("load+bench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "loaded wiring: n=150") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// TestSmokeBaselineGate checks both gate outcomes: a met floor passes,
+// an absurd floor fails the process.
+func TestSmokeBaselineGate(t *testing.T) {
+	bin := clitest.Build(t, "egoist-route")
+	dir := t.TempDir()
+	wiring := filepath.Join(dir, "wiring.json")
+	if out, err := exec.Command(bin, "-n", "150", "-workers", "2", "-save-wiring", wiring).CombinedOutput(); err != nil {
+		t.Fatalf("save: %v\n%s", err, out)
+	}
+	lenient := filepath.Join(dir, "lenient.json")
+	if err := os.WriteFile(lenient, []byte(`{"min_onehop_qps": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-wiring", wiring, "-bench", "-bench-duration", "100ms",
+		"-modes", "onehop", "-baseline", lenient).CombinedOutput()
+	if err != nil {
+		t.Fatalf("lenient gate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "serve gate: one-hop") {
+		t.Fatalf("no gate line:\n%s", out)
+	}
+	absurd := filepath.Join(dir, "absurd.json")
+	if err := os.WriteFile(absurd, []byte(`{"min_onehop_qps": 1e15}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-wiring", wiring, "-bench", "-bench-duration", "100ms",
+		"-modes", "onehop", "-baseline", absurd).CombinedOutput(); err == nil {
+		t.Fatalf("absurd gate passed:\n%s", out)
+	}
+}
+
+// TestSmokeBadWiringRejected covers the loader's validation.
+func TestSmokeBadWiringRejected(t *testing.T) {
+	bin := clitest.Build(t, "egoist-route")
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"not-json":     "nope",
+		"short":        `{"n": 5, "k": 2, "wiring": [[1],[2]]}`,
+		"out-of-range": `{"n": 3, "k": 1, "wiring": [[1],[9],[0]]}`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if out, err := exec.Command(bin, "-wiring", path).CombinedOutput(); err == nil {
+			t.Errorf("%s accepted:\n%s", name, out)
+		}
+	}
+}

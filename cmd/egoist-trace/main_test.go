@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egoist/internal/clitest"
+	"egoist/internal/topology"
+)
+
+// egoist-trace was the last CLI with zero coverage: a broken flag
+// default or a format drift in the trace writers would have shipped
+// silently. These smoke tests drive every subcommand end to end via
+// the shared clitest harness.
+
+// TestMainInProcess drives the happy paths of all three subcommands in
+// process, so main's own statements appear in the coverage profile.
+func TestMainInProcess(t *testing.T) {
+	dir := t.TempDir()
+	delays := filepath.Join(dir, "delays.txt")
+	churn := filepath.Join(dir, "churn.txt")
+	clitest.RunMain(t, main, "egoist-trace", "delays", "-n", "20", "-model", "waxman", "-o", delays)
+	clitest.RunMain(t, main, "egoist-trace", "churn", "-n", "10", "-horizon", "30", "-on", "10", "-off", "2", "-o", churn)
+	clitest.RunMain(t, main, "egoist-trace", "info", "-in", delays)
+	clitest.RunMain(t, main, "egoist-trace", "info", "-in", churn)
+}
+
+// TestSmokeDelaysRoundTrip generates a delay matrix with the real
+// binary for every model and checks info reads it back with the right
+// dimensions.
+func TestSmokeDelaysRoundTrip(t *testing.T) {
+	bin := clitest.Build(t, "egoist-trace")
+	for _, model := range []string{"geo", "waxman", "ba", "ring"} {
+		path := filepath.Join(t.TempDir(), model+".txt")
+		out, err := exec.Command(bin, "delays", "-n", "24", "-model", model, "-o", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("delays -model %s: %v\n%s", model, err, out)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := topology.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("model %s wrote an unreadable trace: %v", model, err)
+		}
+		if m.N() != 24 {
+			t.Fatalf("model %s: n=%d, want 24", model, m.N())
+		}
+		info, err := exec.Command(bin, "info", "-in", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("info: %v\n%s", err, info)
+		}
+		if !strings.Contains(string(info), "delay matrix: n=24") {
+			t.Fatalf("model %s: unexpected info output: %s", model, info)
+		}
+	}
+}
+
+// TestSmokeChurnSchedule generates a churn trace (both session models)
+// and checks the info summary.
+func TestSmokeChurnSchedule(t *testing.T) {
+	bin := clitest.Build(t, "egoist-trace")
+	for _, extra := range [][]string{nil, {"-pareto"}} {
+		path := filepath.Join(t.TempDir(), "churn.txt")
+		args := append([]string{"churn", "-n", "16", "-horizon", "50", "-on", "12", "-off", "3", "-o", path}, extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("churn %v: %v\n%s", extra, err, out)
+		}
+		if !strings.Contains(string(out), "generated") || !strings.Contains(string(out), "churn rate") {
+			t.Fatalf("missing generation summary: %s", out)
+		}
+		info, err := exec.Command(bin, "info", "-in", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("info: %v\n%s", err, info)
+		}
+		if !strings.Contains(string(info), "churn schedule: n=16") {
+			t.Fatalf("unexpected info output: %s", info)
+		}
+	}
+}
+
+// TestSmokeBadInputsFail covers the exits: unknown subcommand, missing
+// -in, unknown model, unreadable file.
+func TestSmokeBadInputsFail(t *testing.T) {
+	bin := clitest.Build(t, "egoist-trace")
+	if out, err := exec.Command(bin, "frobnicate").CombinedOutput(); err == nil {
+		t.Fatalf("unknown subcommand accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Fatalf("no subcommand accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "info").CombinedOutput(); err == nil {
+		t.Fatalf("info without -in accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "delays", "-model", "escher").CombinedOutput(); err == nil {
+		t.Fatalf("unknown model accepted:\n%s", out)
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.txt")
+	if err := os.WriteFile(garbled, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "info", "-in", garbled).CombinedOutput(); err == nil {
+		t.Fatalf("garbled trace accepted:\n%s", out)
+	}
+}

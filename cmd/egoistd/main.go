@@ -22,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"egoist/internal/core"
 	"egoist/internal/linkstate"
 	"egoist/internal/overlay"
+	"egoist/internal/plane"
 	"egoist/internal/roster"
 )
 
@@ -103,13 +105,31 @@ func main() {
 		log.Fatalf("egoistd: %v", err)
 	}
 	log.Printf("egoistd: node %d up on %s (k=%d, T=%v)", *id, self, *k, *epoch)
+	// The daemon's data plane: every epoch the node's link-state view is
+	// compiled into an immutable plane.Snapshot and swapped into the
+	// query server, so /route answers never block on (or observe) a
+	// re-wiring in progress. Direct delays beyond announced links are
+	// unknown to a live node, so one-hop decisions relay through
+	// announced arcs only (plane.GraphDelays).
+	publishPlane := func() {} // snapshots are only compiled when something can query them
 	if *httpAddr != "" {
-		bound, shutdown, err := node.ServeHTTP(*httpAddr)
+		planeSrv := plane.NewServer()
+		publishPlane = func() {
+			g := node.AnnouncedView()
+			planeSrv.Publish(plane.CompileGraph(int64(node.Epochs()), g, plane.GraphDelays(g), plane.Options{}))
+		}
+		publishPlane()
+		bound, shutdown, err := node.ServeHTTPWith(*httpAddr, func(mux *http.ServeMux) {
+			h := planeSrv.Handler()
+			mux.Handle("/route", h)
+			mux.Handle("/routes", h)
+			mux.Handle("/snapshot", h)
+		})
 		if err != nil {
 			log.Fatalf("egoistd: http: %v", err)
 		}
 		defer shutdown()
-		log.Printf("egoistd: status at http://%s/status, topology at http://%s/topology.svg", bound, bound)
+		log.Printf("egoistd: status at http://%s/status, topology at http://%s/topology.svg, routes at http://%s/route", bound, bound, bound)
 	}
 
 	status := time.NewTicker(*epoch)
@@ -119,6 +139,7 @@ func main() {
 	for {
 		select {
 		case <-status.C:
+			publishPlane()
 			known := node.KnownNodes()
 			sort.Ints(known)
 			log.Printf("node %d: neighbors=%v known=%v rewires=%d",

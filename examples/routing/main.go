@@ -1,7 +1,10 @@
 // Overlay routing data plane: bring up a live EGOIST overlay, let it
-// selfishly converge, then route application payloads hop-by-hop over the
-// overlay's shortest paths — including redirected (via a chosen first hop)
-// transmissions, the primitive behind the paper's Sect. 6 applications.
+// selfishly converge, compile its wiring into an immutable route
+// snapshot (internal/plane) and query it — full shortest-path routes
+// and the paper's O(k) one-hop decisions — then route application
+// payloads hop-by-hop over the overlay, with the redirected (via a
+// chosen first hop) transmission of the Sect. 6 applications steered
+// by the data plane's one-hop decision instead of an ad-hoc pick.
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"egoist"
+	"egoist/internal/plane"
 )
 
 func main() {
@@ -40,8 +44,30 @@ func main() {
 		time.Sleep(50 * time.Millisecond)
 	}
 	fmt.Println("overlay converged; wiring:")
-	for i, ws := range lo.Wiring() {
+	wiring := lo.Wiring()
+	for i, ws := range wiring {
 		fmt.Printf("  node %d -> %v\n", i, ws)
+	}
+
+	// Compile the converged wiring into a route-serving snapshot: the
+	// same lookup paths egoist-route serves at 10k-node scale, here over
+	// the live overlay's true delay matrix.
+	snap := plane.Compile(0, wiring, nil, plane.DelayFunc{
+		Nodes: n,
+		Fn:    func(i, j int) float64 { return lo.Delays[i][j] },
+	}, plane.Options{})
+	srv := plane.NewServer()
+	srv.Publish(snap)
+	fmt.Println("\ndata plane (snapshot of the converged wiring):")
+	if r, ok := snap.Route(0, n-1); ok {
+		fmt.Printf("  route 0 -> %d: path %v cost %.1fms (direct %.1fms)\n",
+			n-1, r.Path, r.Cost, lo.Delays[0][n-1])
+	}
+	d := snap.OneHop(0, n-1)
+	if d.Via >= 0 {
+		fmt.Printf("  one-hop 0 -> %d: via neighbor %d at %.1fms\n", n-1, d.Via, d.Cost)
+	} else {
+		fmt.Printf("  one-hop 0 -> %d: direct at %.1fms\n", n-1, d.Cost)
 	}
 
 	// Every node acknowledges payloads it receives.
@@ -81,10 +107,16 @@ func main() {
 	fmt.Printf("delivered %d payloads; intermediate nodes forwarded %d times\n",
 		delivered, forwardedTotal)
 
-	// Redirected transmission through a specific first hop.
+	// Redirected transmission through the first hop the data plane's
+	// one-hop decision picked (falling back to any neighbor when the
+	// decision says the direct path wins).
 	if nbs := lo.Wiring()[0]; len(nbs) > 0 {
-		if err := lo.SendVia(0, n-1, nbs[0], []byte("redirected")); err == nil {
-			fmt.Printf("sent a payload to node %d redirected via neighbor %d\n", n-1, nbs[0])
+		via := d.Via
+		if via < 0 {
+			via = nbs[0]
+		}
+		if err := lo.SendVia(0, n-1, via, []byte("redirected")); err == nil {
+			fmt.Printf("sent a payload to node %d redirected via neighbor %d\n", n-1, via)
 		}
 	}
 	time.Sleep(300 * time.Millisecond)

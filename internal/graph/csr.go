@@ -1,0 +1,108 @@
+package graph
+
+// CSR is an immutable directed weighted graph packed in compressed
+// sparse row form: one offsets array and two parallel arc arrays,
+// cache-dense and shareable across any number of concurrent readers.
+// It is the adjacency representation of the data plane's route
+// snapshots (internal/plane), where a graph is built once per epoch
+// and then only ever read — the pointer-chasing [][]Arc layout of
+// Digraph buys mutability those readers never use.
+type CSR struct {
+	n   int
+	off []int32
+	to  []int32
+	w   []float64
+}
+
+// NewCSR packs n nodes with the given adjacency into CSR form. adj is
+// called exactly once per node in id order — adjacency producers may
+// be expensive (the data plane prices every arc through the underlay
+// oracle) — and may return nil for isolated nodes; the arcs are
+// copied, so the caller may reuse the slice across calls.
+func NewCSR(n int, adj func(u int) []Arc) *CSR {
+	c := &CSR{n: n, off: make([]int32, n+1)}
+	for u := 0; u < n; u++ {
+		for _, a := range adj(u) {
+			c.to = append(c.to, int32(a.To))
+			c.w = append(c.w, a.W)
+		}
+		c.off[u+1] = int32(len(c.to))
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return c.n }
+
+// NumArcs returns the total number of directed edges.
+func (c *CSR) NumArcs() int { return len(c.to) }
+
+// OutDegree returns the number of out-arcs of u.
+func (c *CSR) OutDegree(u NodeID) int { return int(c.off[u+1] - c.off[u]) }
+
+// Out returns u's out-arc targets and weights as parallel slices.
+// The returned slices alias the CSR storage and must not be modified.
+func (c *CSR) Out(u NodeID) (to []int32, w []float64) {
+	lo, hi := c.off[u], c.off[u+1]
+	return c.to[lo:hi], c.w[lo:hi]
+}
+
+// DijkstraCSR computes single-source shortest additive distances from
+// src over a CSR graph into dist and parent, which must both have
+// length c.N(). parent[v] is the predecessor of v on a shortest path
+// (-1 for src and unreachable nodes), so callers can reconstruct
+// routes with PathTo32. It is DijkstraDist on the packed layout plus
+// parent tracking — the inline 4-ary heap, stale entries skipped by
+// key comparison, no allocations beyond first-use heap growth.
+func (s *SPScratch) DijkstraCSR(c *CSR, src NodeID, dist []float64, parent []int32) {
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := dheap{items: s.items[:0]}
+	h.pushMin(src, 0)
+	for len(h.items) > 0 {
+		it := h.popMin()
+		u := it.node
+		if it.key != dist[u] {
+			continue
+		}
+		lo, hi := c.off[u], c.off[u+1]
+		for x := lo; x < hi; x++ {
+			v := c.to[x]
+			if nd := it.key + c.w[x]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = int32(u)
+				h.pushMin(int(v), nd)
+			}
+		}
+	}
+	s.items = h.items[:0]
+}
+
+// PathTo32 reconstructs the src→dst path from an int32 parent array
+// (inclusive of both endpoints), or nil if dst was unreachable. It is
+// PathTo for the parent layout DijkstraCSR produces.
+func PathTo32(parent []int32, src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	if parent[dst] == -1 {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = int(parent[v]) {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDigraph builds a random sparse digraph for equivalence checks.
+func randomDigraph(n, arcsPerNode int, rng *rand.Rand) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for a := 0; a < arcsPerNode; a++ {
+			v := rng.Intn(n)
+			if v == u {
+				continue
+			}
+			g.AddArc(u, v, 1+rng.Float64()*99)
+		}
+	}
+	return g
+}
+
+func csrOf(g *Digraph) *CSR {
+	return NewCSR(g.N(), func(u int) []Arc { return g.Out(u) })
+}
+
+// TestCSRPreservesAdjacency checks the packed form is the same graph.
+func TestCSRPreservesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomDigraph(60, 4, rng)
+	c := csrOf(g)
+	if c.N() != g.N() || c.NumArcs() != g.NumArcs() {
+		t.Fatalf("shape: csr %d/%d vs digraph %d/%d", c.N(), c.NumArcs(), g.N(), g.NumArcs())
+	}
+	for u := 0; u < g.N(); u++ {
+		to, w := c.Out(u)
+		if len(to) != g.OutDegree(u) {
+			t.Fatalf("node %d: degree %d vs %d", u, len(to), g.OutDegree(u))
+		}
+		for x, v := range to {
+			got, ok := g.Weight(u, int(v))
+			if !ok || got != w[x] {
+				t.Fatalf("node %d arc to %d: weight %v vs %v (ok=%v)", u, v, w[x], got, ok)
+			}
+		}
+	}
+}
+
+// TestDijkstraCSRMatchesDigraph pins the data-plane invariant: the CSR
+// Dijkstra is bit-identical (distances AND parent-path costs) to the
+// reference Dijkstra over the equivalent Digraph.
+func TestDijkstraCSRMatchesDigraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(80)
+		g := randomDigraph(n, 1+rng.Intn(5), rng)
+		c := csrOf(g)
+		var s SPScratch
+		dist := make([]float64, n)
+		parent := make([]int32, n)
+		for src := 0; src < n; src += 1 + n/7 {
+			want, _ := Dijkstra(g, src)
+			s.DijkstraCSR(c, src, dist, parent)
+			for v := range dist {
+				if math.Float64bits(dist[v]) != math.Float64bits(want[v]) {
+					t.Fatalf("trial %d src %d: dist[%d] = %v, want %v", trial, src, v, dist[v], want[v])
+				}
+			}
+			// Parent chains must realize exactly the claimed distances.
+			for v := range dist {
+				if dist[v] >= Inf || v == src {
+					continue
+				}
+				path := PathTo32(parent, src, v)
+				if path == nil {
+					t.Fatalf("trial %d: no path %d->%d despite dist %v", trial, src, v, dist[v])
+				}
+				cost := 0.0
+				for i := 1; i < len(path); i++ {
+					w, ok := g.Weight(path[i-1], path[i])
+					if !ok {
+						t.Fatalf("trial %d: path %v uses missing arc %d->%d", trial, path, path[i-1], path[i])
+					}
+					cost += w
+				}
+				if math.Abs(cost-dist[v]) > 1e-9*math.Max(1, cost) {
+					t.Fatalf("trial %d: path cost %v vs dist %v", trial, cost, dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPathTo32Unreachable covers the nil cases.
+func TestPathTo32Unreachable(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	c := csrOf(g)
+	var s SPScratch
+	dist := make([]float64, 3)
+	parent := make([]int32, 3)
+	s.DijkstraCSR(c, 0, dist, parent)
+	if p := PathTo32(parent, 0, 2); p != nil {
+		t.Fatalf("path to unreachable node: %v", p)
+	}
+	if p := PathTo32(parent, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("self path: %v", p)
+	}
+	if p := PathTo32(parent, 0, 1); len(p) != 2 || p[1] != 1 {
+		t.Fatalf("one-hop path: %v", p)
+	}
+}

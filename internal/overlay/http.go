@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 
+	"egoist/internal/graph"
 	"egoist/internal/vis"
 )
 
@@ -50,11 +51,22 @@ func (n *Node) CurrentStatus() Status {
 // The server stops when the node's transport closes the listener via the
 // returned shutdown function.
 func (n *Node) ServeHTTP(addr string) (string, func() error, error) {
+	return n.ServeHTTPWith(addr, nil)
+}
+
+// ServeHTTPWith is ServeHTTP with extra handlers mounted on the same
+// mux before the server starts — the daemon uses it to expose the
+// routing data plane (internal/plane) next to the status endpoints.
+// mount may be nil.
+func (n *Node) ServeHTTPWith(addr string, mount func(mux *http.ServeMux)) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	mux := http.NewServeMux()
+	if mount != nil {
+		mount(mux)
+	}
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -64,17 +76,7 @@ func (n *Node) ServeHTTP(addr string) (string, func() error, error) {
 		}
 	})
 	mux.HandleFunc("/topology.svg", func(w http.ResponseWriter, r *http.Request) {
-		g := n.Graph()
-		// Include this node's own links, which its DB view omits.
-		n.mu.Lock()
-		for _, nb := range n.neighbors {
-			cost := 1.0
-			if e, ok := n.est[nb]; ok {
-				cost = e.v
-			}
-			g.AddArc(n.cfg.ID, nb, cost)
-		}
-		n.mu.Unlock()
+		g := n.AnnouncedView()
 		w.Header().Set("Content-Type", "image/svg+xml")
 		if err := vis.Topology(w, g, vis.CirclePositions(g.N()), n.cfg.ID); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -85,4 +87,23 @@ func (n *Node) ServeHTTP(addr string) (string, func() error, error) {
 		_ = srv.Serve(ln)
 	}()
 	return ln.Addr().String(), srv.Close, nil
+}
+
+// AnnouncedView returns this node's current link-state view of the
+// overlay as a fresh weighted graph, including the node's own links
+// (which its LSA database omits) priced at their delay estimates. It
+// is what the topology rendering shows and what the daemon's data
+// plane compiles route snapshots from.
+func (n *Node) AnnouncedView() *graph.Digraph {
+	g := n.Graph()
+	n.mu.Lock()
+	for _, nb := range n.neighbors {
+		cost := 1.0
+		if e, ok := n.est[nb]; ok {
+			cost = e.v
+		}
+		g.AddArc(n.cfg.ID, nb, cost)
+	}
+	n.mu.Unlock()
+	return g
 }

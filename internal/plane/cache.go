@@ -1,0 +1,139 @@
+package plane
+
+import (
+	"sync"
+
+	"egoist/internal/graph"
+)
+
+// rowCache is the snapshot's lazy per-source shortest-path row store:
+// an LRU bounded at cap rows with singleflight per source, so N
+// concurrent queries from one source cost one Dijkstra and a source
+// evicted under memory pressure simply recomputes on next use. Rows
+// are immutable once their ready channel closes; eviction only drops
+// the cache's reference, so readers holding a row keep a consistent
+// view for as long as they need it.
+type rowCache struct {
+	snap *Snapshot
+	cap  int
+
+	mu      sync.Mutex
+	entries map[int]*rowEntry
+	head    *rowEntry // most recently used
+	tail    *rowEntry // least recently used
+	ready   int       // computed entries (only these are evictable)
+
+	scratch sync.Pool // *graph.SPScratch
+}
+
+// rowEntry is one source's distance/parent row plus its LRU links.
+type rowEntry struct {
+	src        int
+	prev, next *rowEntry
+	done       chan struct{} // closed once dist/parent are final
+	dist       []float64
+	parent     []int32
+}
+
+func newRowCache(s *Snapshot, capRows int) *rowCache {
+	if capRows <= 0 {
+		capRows = 256
+	}
+	return &rowCache{
+		snap:    s,
+		cap:     capRows,
+		entries: make(map[int]*rowEntry),
+	}
+}
+
+// get returns src's row, computing it (or waiting for the computation
+// another goroutine already started) as needed.
+func (c *rowCache) get(src int) *rowEntry {
+	c.mu.Lock()
+	if e, ok := c.entries[src]; ok {
+		c.moveFront(e)
+		c.mu.Unlock()
+		<-e.done
+		return e
+	}
+	e := &rowEntry{src: src, done: make(chan struct{})}
+	c.entries[src] = e
+	c.pushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	sp, _ := c.scratch.Get().(*graph.SPScratch)
+	if sp == nil {
+		sp = &graph.SPScratch{}
+	}
+	n := c.snap.csr.N()
+	e.dist = make([]float64, n)
+	e.parent = make([]int32, n)
+	sp.DijkstraCSR(c.snap.csr, src, e.dist, e.parent)
+	c.scratch.Put(sp)
+
+	c.mu.Lock()
+	c.ready++
+	c.mu.Unlock()
+	close(e.done)
+	return e
+}
+
+// evictLocked drops least-recently-used *computed* rows until the
+// computed population fits the cap. In-flight rows are never evicted —
+// their waiters hold the entry — so the cache can transiently exceed
+// cap by the number of concurrent distinct-source misses.
+func (c *rowCache) evictLocked() {
+	for e := c.tail; e != nil && c.ready > 0 && len(c.entries) > c.cap; {
+		prev := e.prev
+		select {
+		case <-e.done:
+			c.unlink(e)
+			delete(c.entries, e.src)
+			c.ready--
+		default:
+		}
+		e = prev
+	}
+}
+
+func (c *rowCache) pushFront(e *rowEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *rowCache) unlink(e *rowEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *rowCache) moveFront(e *rowEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// size reports the current entry count (tests).
+func (c *rowCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

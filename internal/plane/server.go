@@ -1,0 +1,254 @@
+package plane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"egoist/internal/graph"
+)
+
+// ErrNoSnapshot is returned for queries issued before the control plane
+// has published anything.
+var ErrNoSnapshot = errors.New("plane: no snapshot published yet")
+
+// Batch limits of POST /routes.
+const (
+	maxBatchPairs = 10000
+	maxBatchBytes = 1 << 20 // comfortably holds maxBatchPairs of JSON pairs
+)
+
+// Server is the query-serving layer: it holds the current Snapshot
+// behind an atomic pointer and answers one-hop and shortest-path
+// queries from it without ever blocking a reader. Publish swaps the
+// pointer (RCU-style): queries in flight finish on the snapshot they
+// started with, new queries see the new epoch, and the old snapshot is
+// garbage once its readers drain. One Server is safe for any number of
+// concurrent Publish-ers and query-ers, though the engines publish from
+// a single goroutine.
+type Server struct {
+	cur atomic.Pointer[Snapshot]
+
+	// Served query counters, by lookup path; failed counts queries
+	// with no published snapshot or invalid node ids.
+	onehop atomic.Int64
+	routes atomic.Int64
+	failed atomic.Int64
+}
+
+// NewServer returns a Server with no snapshot published.
+func NewServer() *Server { return &Server{} }
+
+// Publish atomically installs snap as the serving snapshot.
+func (s *Server) Publish(snap *Snapshot) { s.cur.Store(snap) }
+
+// Current returns the serving snapshot, or nil before the first
+// Publish. The returned snapshot stays valid (immutable) even after
+// later publishes — batch callers should grab it once so every query
+// of the batch is answered from one consistent epoch.
+func (s *Server) Current() *Snapshot { return s.cur.Load() }
+
+// Stats reports the served-query counters.
+func (s *Server) Stats() (onehop, routes, failed int64) {
+	return s.onehop.Load(), s.routes.Load(), s.failed.Load()
+}
+
+// OneHop answers one O(k) source-routing query from the current
+// snapshot.
+func (s *Server) OneHop(src, dst int) (Decision, int64, error) {
+	snap := s.cur.Load()
+	if snap == nil {
+		s.failed.Add(1)
+		return Decision{}, -1, ErrNoSnapshot
+	}
+	if err := snap.checkPair(src, dst); err != nil {
+		s.failed.Add(1)
+		return Decision{}, snap.epoch, err
+	}
+	s.onehop.Add(1)
+	return snap.OneHop(src, dst), snap.epoch, nil
+}
+
+// Route answers one full shortest-path query from the current snapshot.
+// ok=false means dst is not overlay-reachable from src in the serving
+// epoch — still an answered query, unlike an error.
+func (s *Server) Route(src, dst int) (Route, bool, int64, error) {
+	snap := s.cur.Load()
+	if snap == nil {
+		s.failed.Add(1)
+		return Route{}, false, -1, ErrNoSnapshot
+	}
+	if err := snap.checkPair(src, dst); err != nil {
+		s.failed.Add(1)
+		return Route{}, false, snap.epoch, err
+	}
+	s.routes.Add(1)
+	r, ok := snap.Route(src, dst)
+	return r, ok, snap.epoch, nil
+}
+
+// routeResult is the JSON shape of one answered query.
+type routeResult struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Mode  string  `json:"mode"`
+	Via   *int    `json:"via,omitempty"`  // one-hop relay (absent = direct)
+	Path  []int   `json:"path,omitempty"` // route mode
+	Cost  float64 `json:"cost"`
+	Ok    bool    `json:"ok"` // false: not overlay-reachable this epoch
+	Epoch int64   `json:"epoch"`
+}
+
+// batchRequest is the JSON body of POST /routes.
+type batchRequest struct {
+	Mode  string   `json:"mode"` // "onehop" (default) or "route"
+	Pairs [][2]int `json:"pairs"`
+}
+
+// batchResponse is the JSON reply of POST /routes: every pair answered
+// from one consistent snapshot.
+type batchResponse struct {
+	Epoch   int64         `json:"epoch"`
+	Results []routeResult `json:"results"`
+}
+
+// Handler returns the HTTP JSON face of the server:
+//
+//	GET  /route?src=I&dst=J[&mode=onehop|route]  one query
+//	POST /routes {"mode":"onehop","pairs":[[i,j],...]}  batch, one epoch
+//	GET  /snapshot  serving-snapshot metadata and query counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/routes", s.handleBatch)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// answer resolves one query against an explicit snapshot (so batches
+// stay on one epoch) and tallies the counters.
+func (s *Server) answer(snap *Snapshot, mode string, src, dst int) (routeResult, error) {
+	if err := snap.checkPair(src, dst); err != nil {
+		s.failed.Add(1)
+		return routeResult{}, err
+	}
+	res := routeResult{Src: src, Dst: dst, Mode: mode, Epoch: snap.epoch}
+	switch mode {
+	case "", "onehop":
+		s.onehop.Add(1)
+		d := snap.OneHop(src, dst)
+		res.Mode = "onehop"
+		res.Cost = d.Cost
+		res.Ok = d.Cost < graph.Inf
+		if !res.Ok {
+			res.Cost = -1 // +Inf has no JSON encoding
+		}
+		if d.Via >= 0 {
+			via := d.Via
+			res.Via = &via
+		}
+	case "route":
+		s.routes.Add(1)
+		r, ok := snap.Route(src, dst)
+		res.Cost = r.Cost
+		res.Path = r.Path
+		res.Ok = ok
+		if !ok {
+			res.Cost = -1 // match the one-hop unreachable encoding
+		}
+	default:
+		s.failed.Add(1)
+		return routeResult{}, fmt.Errorf("plane: unknown mode %q (want onehop or route)", mode)
+	}
+	return res, nil
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	snap := s.cur.Load()
+	if snap == nil {
+		s.failed.Add(1)
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	src, err := strconv.Atoi(r.URL.Query().Get("src"))
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, "plane: bad src: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	dst, err := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, "plane: bad dst: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.answer(snap, r.URL.Query().Get("mode"), src, dst)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "plane: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.cur.Load()
+	if snap == nil {
+		s.failed.Add(1)
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// Bound the request: egoistd exposes this endpoint publicly, and an
+	// unbounded pairs array is an amplification vector (each route-mode
+	// pair can cost a Dijkstra).
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&req); err != nil {
+		http.Error(w, "plane: bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) > maxBatchPairs {
+		http.Error(w, fmt.Sprintf("plane: batch of %d pairs exceeds the %d cap", len(req.Pairs), maxBatchPairs), http.StatusRequestEntityTooLarge)
+		return
+	}
+	resp := batchResponse{Epoch: snap.epoch, Results: make([]routeResult, 0, len(req.Pairs))}
+	for _, p := range req.Pairs {
+		res, err := s.answer(snap, req.Mode, p[0], p[1])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.cur.Load()
+	onehop, routes, failed := s.Stats()
+	info := map[string]interface{}{
+		"published":      snap != nil,
+		"queries_onehop": onehop,
+		"queries_route":  routes,
+		"queries_failed": failed,
+	}
+	if snap != nil {
+		info["epoch"] = snap.epoch
+		info["nodes"] = snap.N()
+		info["live"] = snap.NumLive()
+		info["arcs"] = snap.NumArcs()
+	}
+	writeJSON(w, info)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,217 @@
+package plane
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T, n, k int) (*Server, *Snapshot) {
+	t.Helper()
+	net := testNet(t, n)
+	wiring := randomWiring(n, k, rand.New(rand.NewSource(21)))
+	snap := Compile(0, wiring, nil, net, Options{})
+	srv := NewServer()
+	srv.Publish(snap)
+	return srv, snap
+}
+
+// TestServerNoSnapshot: queries before the first publish fail loudly
+// (and are counted), never panic.
+func TestServerNoSnapshot(t *testing.T) {
+	srv := NewServer()
+	if _, _, err := srv.OneHop(0, 1); err != ErrNoSnapshot {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, _, err := srv.Route(0, 1); err != ErrNoSnapshot {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, failed := srv.Stats(); failed != 2 {
+		t.Fatalf("failed counter = %d", failed)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/route?src=0&dst=1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+// TestServerAnswersMatchSnapshot: the serving layer is a pass-through
+// to the published snapshot, with epochs reported.
+func TestServerAnswersMatchSnapshot(t *testing.T) {
+	srv, snap := testServer(t, 40, 3)
+	d, epoch, err := srv.OneHop(2, 9)
+	if err != nil || epoch != 0 {
+		t.Fatalf("onehop: %v epoch %d", err, epoch)
+	}
+	if want := snap.OneHop(2, 9); d != want {
+		t.Fatalf("decision %+v, want %+v", d, want)
+	}
+	r, ok, _, err := srv.Route(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr, wok := snap.Route(2, 9); ok != wok || r.Cost != wr.Cost {
+		t.Fatalf("route %+v/%v, want %+v/%v", r, ok, wr, wok)
+	}
+	if _, _, err := srv.OneHop(-1, 5); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	onehop, routes, failed := srv.Stats()
+	if onehop != 1 || routes != 1 || failed != 1 {
+		t.Fatalf("stats %d/%d/%d", onehop, routes, failed)
+	}
+}
+
+// TestServerHTTPRoute drives GET /route in both modes.
+func TestServerHTTPRoute(t *testing.T) {
+	srv, snap := testServer(t, 40, 3)
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/route?src=3&dst=17", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res routeResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	want := snap.OneHop(3, 17)
+	if res.Mode != "onehop" || res.Cost != want.Cost || !res.Ok || res.Epoch != 0 {
+		t.Fatalf("result %+v, want cost %v", res, want.Cost)
+	}
+	if (res.Via == nil) != (want.Via < 0) {
+		t.Fatalf("via %v, want %d", res.Via, want.Via)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/route?src=3&dst=17&mode=route", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	wr, wok := snap.Route(3, 17)
+	if res.Ok != wok || res.Cost != wr.Cost || len(res.Path) != len(wr.Path) {
+		t.Fatalf("route result %+v, want %+v", res, wr)
+	}
+
+	for _, bad := range []string{"/route?src=x&dst=1", "/route?src=1", "/route?src=3abc&dst=5", "/route?src=1&dst=999", "/route?src=1&dst=2&mode=warp"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", bad, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", bad, rec.Code)
+		}
+	}
+}
+
+// TestServerHTTPBatch drives POST /routes: every pair answered from one
+// epoch.
+func TestServerHTTPBatch(t *testing.T) {
+	srv, snap := testServer(t, 40, 3)
+	h := srv.Handler()
+	body := `{"mode":"route","pairs":[[0,5],[5,0],[7,7],[1,30]]}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/routes", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 0 || len(resp.Results) != 4 {
+		t.Fatalf("batch %+v", resp)
+	}
+	for _, res := range resp.Results {
+		wr, wok := snap.Route(res.Src, res.Dst)
+		if res.Ok != wok || res.Cost != wr.Cost {
+			t.Fatalf("batch %d->%d: %+v want %+v", res.Src, res.Dst, res, wr)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/routes", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /routes: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/routes", strings.NewReader("not json")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", rec.Code)
+	}
+}
+
+// TestServerHTTPSnapshotInfo reads /snapshot metadata.
+func TestServerHTTPSnapshotInfo(t *testing.T) {
+	srv, snap := testServer(t, 40, 3)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/snapshot", nil))
+	var info map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info["published"] != true || int(info["nodes"].(float64)) != snap.N() || int(info["arcs"].(float64)) != snap.NumArcs() {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+// TestServerSwapUnderLoad is the RCU contract under the race detector:
+// continuous publishes of fresh epochs race a storm of readers; every
+// answer must come from a consistent snapshot (cost finite or the pair
+// unreachable — never torn state), and epochs must only move forward
+// within a reader's sequence of Current() calls... publication order is
+// the single writer's program order.
+func TestServerSwapUnderLoad(t *testing.T) {
+	const n, k, epochs = 60, 3, 30
+	net := testNet(t, n)
+	srv := NewServer()
+	srv.Publish(Compile(0, randomWiring(n, k, rand.New(rand.NewSource(100))), nil, net, Options{}))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastEpoch := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := rng.Intn(n), rng.Intn(n)
+				d, epoch, err := srv.OneHop(src, dst)
+				if err != nil {
+					t.Errorf("onehop: %v", err)
+					return
+				}
+				if epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", epoch, lastEpoch)
+					return
+				}
+				lastEpoch = epoch
+				if src != dst && d.Cost <= 0 {
+					t.Errorf("degenerate decision %+v", d)
+					return
+				}
+				if _, _, _, err := srv.Route(src, dst); err != nil {
+					t.Errorf("route: %v", err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	for e := 1; e <= epochs; e++ {
+		srv.Publish(Compile(int64(e), randomWiring(n, k, rand.New(rand.NewSource(int64(100+e)))), nil, net, Options{}))
+	}
+	close(stop)
+	wg.Wait()
+}

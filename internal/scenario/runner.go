@@ -10,8 +10,11 @@ import (
 
 	"egoist/internal/churn"
 	"egoist/internal/core"
+	"egoist/internal/graph"
+	"egoist/internal/plane"
 	"egoist/internal/sampling"
 	"egoist/internal/sim"
+	"egoist/internal/underlay"
 )
 
 // Options tunes one runner invocation without touching the spec.
@@ -57,6 +60,34 @@ type Metrics struct {
 	// the cost first returned to within the tolerance (Expect's, or 5%)
 	// of PreEventCost: -1 = never within the run, -2 = no events.
 	RecoveryEpochs int `json:"recovery_epochs"`
+	// Serve holds the serve-under-churn measurements when the spec
+	// enables the data plane (nil otherwise).
+	Serve *ServeMetrics `json:"serve,omitempty"`
+}
+
+// ServeMetrics records the data plane hammered alongside a scenario:
+// each epoch a deterministic panel of src/dst pairs drawn from the
+// currently-alive roster is answered from the snapshot published at
+// the previous epoch's end — the one-epoch staleness a live client
+// sees while the overlay re-wires underneath it.
+type ServeMetrics struct {
+	QueriesPerEpoch int `json:"queries_per_epoch"`
+	// Queries counts issued lookups; Failed counts lookups no published
+	// snapshot could answer. The runner errors when Failed > 0: with
+	// the bootstrap wiring published before epoch 0, every query must
+	// be answerable from some snapshot.
+	Queries int `json:"queries"`
+	Failed  int `json:"failed"`
+	// AvailabilityPerEpoch is the fraction of the epoch's lookups whose
+	// destination was overlay-reachable in the serving snapshot (-1
+	// when the epoch issued no queries). StretchPerEpoch is the mean,
+	// over reachable lookups, of overlay-route cost divided by the
+	// direct underlay delay (-1 when unobservable).
+	AvailabilityPerEpoch []float64 `json:"availability_per_epoch"`
+	StretchPerEpoch      []float64 `json:"stretch_per_epoch"`
+	// MinAvailability and MeanStretch aggregate the series.
+	MinAvailability float64 `json:"min_availability"`
+	MeanStretch     float64 `json:"mean_stretch"`
 }
 
 // compiled is a spec lowered to engine inputs.
@@ -349,6 +380,23 @@ func runScaleEngine(spec *Spec, comp *compiled, workers int, m *Metrics) error {
 		Churn:    comp.sched,
 		DemandAt: comp.demandAt,
 	}
+	var serve *servePlane
+	if spec.Serve != nil {
+		// The hook needs the engine's delay oracle to compile snapshots
+		// and price stretch; constructing the engine default explicitly
+		// (same constructor, same arguments) keeps the run byte-identical
+		// to a serve-less run of the same spec.
+		net, err := underlay.NewLite(spec.N, spec.Seed+1)
+		if err != nil {
+			return err
+		}
+		cfg.Net = net
+		serve = &servePlane{
+			spec: spec, net: net, srv: plane.NewServer(),
+			m: &ServeMetrics{QueriesPerEpoch: spec.Serve.QueriesPerEpoch},
+		}
+		cfg.OnEpoch = serve.onEpoch
+	}
 	if len(spec.Events) > 0 {
 		// The engine's early convergence stop only waits for membership
 		// events; a timeline with demand flips (or a recovery window to
@@ -384,10 +432,106 @@ func runScaleEngine(spec *Spec, comp *compiled, workers int, m *Metrics) error {
 		last := res.PerEpoch[res.Epochs-1]
 		m.Converged = float64(last.Rewires) <= 0.01*float64(last.Alive)
 	}
+	if serve != nil {
+		m.Serve = serve.finish()
+		if m.Serve.Failed > 0 {
+			// Not an expectation — a violated harness contract: the
+			// bootstrap publish must make every query answerable from
+			// some snapshot.
+			return fmt.Errorf("scenario %s: %d of %d lookups had no published snapshot to answer from",
+				spec.Name, m.Serve.Failed, m.Serve.Queries)
+		}
+	}
 	return nil
 }
 
+// servePlane is the per-run serve-under-churn state behind the scale
+// engine's OnEpoch hook.
+type servePlane struct {
+	spec  *Spec
+	net   *underlay.Lite
+	srv   *plane.Server
+	m     *ServeMetrics
+	alive []int
+}
+
+// onEpoch is the engine hook: measure the epoch's query panel against
+// the previously published snapshot (what clients were served while
+// this epoch re-wired), then publish the epoch-final snapshot. The
+// bootstrap call (epoch -1) only publishes. Runs serially inside the
+// engine, with seeded randomness — deterministic at any worker count.
+func (sp *servePlane) onEpoch(epoch int, wiring [][]int, active []bool) {
+	if epoch >= 0 {
+		sp.measure(epoch, active)
+	}
+	sp.srv.Publish(plane.Compile(int64(epoch), wiring, active, sp.net, plane.Options{}))
+}
+
+func (sp *servePlane) measure(epoch int, active []bool) {
+	sp.alive = sp.alive[:0]
+	for v, on := range active {
+		if on {
+			sp.alive = append(sp.alive, v)
+		}
+	}
+	q := sp.spec.Serve.QueriesPerEpoch
+	if len(sp.alive) < 2 {
+		sp.m.AvailabilityPerEpoch = append(sp.m.AvailabilityPerEpoch, -1)
+		sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, -1)
+		return
+	}
+	rng := rand.New(rand.NewSource(sp.spec.Seed + 7717*(int64(epoch)+2)))
+	snap := sp.srv.Current()
+	reachable, stretch := 0, 0.0
+	for i := 0; i < q; i++ {
+		src := sp.alive[rng.Intn(len(sp.alive))]
+		dst := sp.alive[rng.Intn(len(sp.alive))]
+		for dst == src {
+			dst = sp.alive[rng.Intn(len(sp.alive))]
+		}
+		sp.m.Queries++
+		if snap == nil {
+			sp.m.Failed++
+			continue
+		}
+		if cost := snap.RouteCost(src, dst); cost < graph.Inf {
+			reachable++
+			stretch += cost / sp.net.Delay(src, dst)
+		}
+	}
+	sp.m.AvailabilityPerEpoch = append(sp.m.AvailabilityPerEpoch, float64(reachable)/float64(q))
+	if reachable > 0 {
+		sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, stretch/float64(reachable))
+	} else {
+		sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, -1)
+	}
+}
+
+// finish derives the aggregates.
+func (sp *servePlane) finish() *ServeMetrics {
+	m := sp.m
+	m.MinAvailability = -1
+	sum, ns := 0.0, 0
+	for i, a := range m.AvailabilityPerEpoch {
+		if a >= 0 && (m.MinAvailability < 0 || a < m.MinAvailability) {
+			m.MinAvailability = a
+		}
+		if s := m.StretchPerEpoch[i]; s >= 0 {
+			sum += s
+			ns++
+		}
+	}
+	m.MeanStretch = -1
+	if ns > 0 {
+		m.MeanStretch = sum / float64(ns)
+	}
+	return m
+}
+
 func runFullEngine(spec *Spec, comp *compiled, workers int, m *Metrics) error {
+	if spec.Serve != nil {
+		return fmt.Errorf("scenario %s: serve-under-churn requires the scale engine", spec.Name)
+	}
 	var policy core.Policy
 	enforceCycle := false
 	switch spec.Policy {
@@ -516,6 +660,15 @@ func checkExpect(spec *Spec, m *Metrics) error {
 		if m.RecoveryEpochs < 0 || m.RecoveryEpochs > e.MaxRecoveryEpochs {
 			return fmt.Errorf("scenario %s/%s: no recovery to within %.0f%% of pre-event cost %.1f in %d epochs (got %d; costs %v)",
 				m.Scenario, m.Engine, spec.recoverTol()*100, m.PreEventCost, e.MaxRecoveryEpochs, m.RecoveryEpochs, m.CostPerEpoch)
+		}
+	}
+	if e.MinAvailability > 0 {
+		if m.Serve == nil {
+			return fmt.Errorf("scenario %s/%s: min_availability expected but the run served no queries", m.Scenario, m.Engine)
+		}
+		if m.Serve.MinAvailability < e.MinAvailability {
+			return fmt.Errorf("scenario %s/%s: data-plane availability dipped to %.3f, below the %.3f floor (per-epoch %v)",
+				m.Scenario, m.Engine, m.Serve.MinAvailability, e.MinAvailability, m.Serve.AvailabilityPerEpoch)
 		}
 	}
 	return nil

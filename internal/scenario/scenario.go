@@ -77,9 +77,25 @@ type Spec struct {
 	Churn *ChurnProcess `json:"churn,omitempty"`
 	// Events is the scenario timeline, in epoch order.
 	Events []Event `json:"events,omitempty"`
+	// Serve, when non-nil, hammers the routing data plane while the
+	// scenario plays: every epoch publishes a plane.Snapshot and a
+	// deterministic query panel measures lookup availability and
+	// stretch against the previous epoch's published snapshot (the
+	// freshness a live client actually sees during a re-wiring epoch).
+	// Requires the scale engine, so specs with Serve must pin
+	// engine="scale".
+	Serve *ServeSpec `json:"serve,omitempty"`
 	// Expect, when non-nil, turns the run into a gate: the runner
 	// errors if the expectations are violated.
 	Expect *Expect `json:"expect,omitempty"`
+}
+
+// ServeSpec enables serve-under-churn measurement.
+type ServeSpec struct {
+	// QueriesPerEpoch is the per-epoch size of the query panel: src/dst
+	// pairs drawn uniformly from the currently-alive roster and
+	// answered from the last published snapshot.
+	QueriesPerEpoch int `json:"queries_per_epoch"`
 }
 
 // DemandModel selects the preference weights p_ij.
@@ -139,6 +155,12 @@ type Expect struct {
 	MaxRecoveryEpochs int `json:"max_recovery_epochs,omitempty"`
 	// RecoverWithin is the recovery tolerance (default 0.05).
 	RecoverWithin float64 `json:"recover_within,omitempty"`
+	// MinAvailability fails the run if any epoch's data-plane lookup
+	// availability fell below it (0 = unchecked; requires Serve). The
+	// zero-failed-lookups invariant — every query answered from some
+	// published snapshot — is not an expectation but a harness
+	// contract: the runner always errors when it is violated.
+	MinAvailability float64 `json:"min_availability,omitempty"`
 }
 
 // Validate checks the spec is well-formed.
@@ -185,6 +207,22 @@ func (s *Spec) Validate() error {
 		}
 		if s.Churn.Process != "static" && (s.Churn.OnMean <= 0 || s.Churn.OffMean <= 0) {
 			return fmt.Errorf("scenario %s: churn process %q needs positive on/off means", s.Name, s.Churn.Process)
+		}
+	}
+	if s.Serve != nil {
+		if s.Serve.QueriesPerEpoch < 1 {
+			return fmt.Errorf("scenario %s: serve needs queries_per_epoch >= 1", s.Name)
+		}
+		if s.Engine != EngineScale {
+			return fmt.Errorf("scenario %s: serve requires engine %q pinned (the full engine has no static delay oracle to price stretch against)", s.Name, EngineScale)
+		}
+	}
+	if s.Expect != nil && s.Expect.MinAvailability > 0 {
+		if s.Expect.MinAvailability > 1 {
+			return fmt.Errorf("scenario %s: min_availability %v outside (0, 1]", s.Name, s.Expect.MinAvailability)
+		}
+		if s.Serve == nil {
+			return fmt.Errorf("scenario %s: min_availability expects serve to be enabled", s.Name)
 		}
 	}
 	last := -1.0
@@ -334,11 +372,15 @@ func Builtins() []Spec {
 		},
 		{
 			// The acceptance-criterion shape at smoke size: a 5% leave
-			// wave must recover within 3 epochs to within 5%.
+			// wave must recover within 3 epochs to within 5%, while the
+			// data plane keeps answering every lookup from the last
+			// published snapshot (engine pinned: serve needs the scale
+			// engine's static delay oracle).
 			Name: "leave-wave", N: 400, K: 4, Seed: 2008, Epochs: 8,
-			Sample: "demand:60",
+			Engine: EngineScale, Sample: "demand:60",
 			Events: []Event{{Epoch: 4.3, Kind: LeaveWave, Frac: 0.05}},
-			Expect: &Expect{MaxRecoveryEpochs: 3, RecoverWithin: 0.05},
+			Serve:  &ServeSpec{QueriesPerEpoch: 200},
+			Expect: &Expect{MaxRecoveryEpochs: 3, RecoverWithin: 0.05, MinAvailability: 0.97},
 		},
 		{
 			// The headline churn-at-scale run (nightly CI): n=10000 k=8
@@ -353,7 +395,8 @@ func Builtins() []Spec {
 			Name: "leave-wave-10k", N: 10000, K: 8, Seed: 2008, Epochs: 7,
 			Engine: EngineScale, Sample: "demand:500",
 			Events: []Event{{Epoch: 3.3, Kind: LeaveWave, Frac: 0.05}},
-			Expect: &Expect{MaxRecoveryEpochs: 3, RecoverWithin: 0.05},
+			Serve:  &ServeSpec{QueriesPerEpoch: 200},
+			Expect: &Expect{MaxRecoveryEpochs: 3, RecoverWithin: 0.05, MinAvailability: 0.97},
 		},
 	}
 }

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// serveSpec is a small serve-under-churn scenario: a flash crowd joins
+// at epoch 3, so the epoch-after queries include members the one-epoch-
+// stale serving snapshot has never seen.
+func serveSpec() Spec {
+	return Spec{
+		Name: "serve-smoke", Engine: EngineScale,
+		N: 120, K: 3, Seed: 9, Epochs: 6,
+		Sample: "uniform:12",
+		Churn:  &ChurnProcess{Process: "static", StartOn: 0.7},
+		Events: []Event{{Epoch: 3, Kind: JoinWave, Frac: 0.3}},
+		Serve:  &ServeSpec{QueriesPerEpoch: 150},
+	}
+}
+
+// TestServeMetricsRecorded pins the serve-under-churn acceptance shape:
+// zero failed lookups (every query answered from some published
+// snapshot), per-epoch availability and stretch series of full length,
+// and a visible availability dip at the join wave — the freshness
+// caveat made measurable: queries about fresh joiners are answered from
+// the pre-wave snapshot.
+func TestServeMetricsRecorded(t *testing.T) {
+	m, err := Run(serveSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Serve
+	if s == nil {
+		t.Fatal("no serve metrics recorded")
+	}
+	if s.Failed != 0 {
+		t.Fatalf("%d failed lookups", s.Failed)
+	}
+	if s.Queries != s.QueriesPerEpoch*m.Epochs {
+		t.Fatalf("queries %d, want %d × %d epochs", s.Queries, s.QueriesPerEpoch, m.Epochs)
+	}
+	if len(s.AvailabilityPerEpoch) != m.Epochs || len(s.StretchPerEpoch) != m.Epochs {
+		t.Fatalf("series lengths %d/%d, want %d", len(s.AvailabilityPerEpoch), len(s.StretchPerEpoch), m.Epochs)
+	}
+	for e, a := range s.AvailabilityPerEpoch {
+		if a < 0 || a > 1 {
+			t.Fatalf("epoch %d availability %v", e, a)
+		}
+	}
+	// Epoch 4's queries run against the epoch-3 snapshot... which was
+	// compiled after the epoch-3 wave drained; epoch 3's own queries run
+	// against the pre-wave epoch-2 snapshot with ~30%-of-n unknown
+	// joiners in the panel. That epoch must show the dip.
+	if dip := s.AvailabilityPerEpoch[3]; dip > 0.95 {
+		t.Fatalf("expected a join-wave availability dip at epoch 3, got %v (series %v)", dip, s.AvailabilityPerEpoch)
+	}
+	if s.MinAvailability > s.AvailabilityPerEpoch[3] {
+		t.Fatalf("min %v above epoch-3 dip %v", s.MinAvailability, s.AvailabilityPerEpoch[3])
+	}
+	// Stretch is overlay-route over direct-underlay delay: bounded away
+	// from zero, and finite wherever observed.
+	for e, st := range s.StretchPerEpoch {
+		if st != -1 && st < 0.5 {
+			t.Fatalf("epoch %d stretch %v", e, st)
+		}
+	}
+	if s.MeanStretch <= 0.5 {
+		t.Fatalf("mean stretch %v", s.MeanStretch)
+	}
+}
+
+// TestServeMetricsByteIdenticalAcrossWorkers extends the worker-
+// determinism contract to the serve measurements.
+func TestServeMetricsByteIdenticalAcrossWorkers(t *testing.T) {
+	a, err := Run(serveSpec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(serveSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("serve metrics diverged across workers:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestServeValidation covers the spec-level serve rules.
+func TestServeValidation(t *testing.T) {
+	s := serveSpec()
+	s.Serve.QueriesPerEpoch = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero queries_per_epoch accepted")
+	}
+	s = serveSpec()
+	s.Engine = ""
+	if err := s.Validate(); err == nil {
+		t.Error("serve without a pinned scale engine accepted")
+	}
+	s = serveSpec()
+	s.Engine = EngineFull
+	if err := s.Validate(); err == nil {
+		t.Error("serve on the full engine accepted")
+	}
+	s = serveSpec()
+	s.Serve = nil
+	s.Expect = &Expect{MinAvailability: 0.9}
+	if err := s.Validate(); err == nil {
+		t.Error("min_availability without serve accepted")
+	}
+	s = serveSpec()
+	s.Expect = &Expect{MinAvailability: 1.5}
+	if err := s.Validate(); err == nil {
+		t.Error("min_availability > 1 accepted")
+	}
+}
+
+// TestServeFullEngineRefused: the runner must refuse to silently drop
+// serve measurements when forced onto the full engine.
+func TestServeFullEngineRefused(t *testing.T) {
+	s := serveSpec()
+	if _, err := Run(s, Options{Engine: EngineFull, Workers: 1}); err == nil {
+		t.Fatal("full engine accepted a serve spec")
+	}
+}
+
+// TestServeMinAvailabilityGate: an unmeetable availability floor fails
+// the run.
+func TestServeMinAvailabilityGate(t *testing.T) {
+	s := serveSpec()
+	s.Expect = &Expect{MinAvailability: 0.9999}
+	if _, err := Run(s, Options{Workers: 2}); err == nil {
+		t.Fatal("impossible availability floor passed")
+	}
+}

@@ -125,6 +125,16 @@ type ScaleConfig struct {
 	// Net overrides the default constant-memory geographic underlay
 	// (underlay.NewLite(N, Seed+1)).
 	Net ScaleNet
+	// OnEpoch, when non-nil, is the data-plane publication hook: it is
+	// called serially once after the bootstrap (epoch -1) and once at
+	// the end of every epoch — after that epoch's final churn drain, so
+	// the arguments are the epoch-final state. wiring and active are
+	// the engine's own live arrays, borrowed read-only for the duration
+	// of the call; publishers must compile an immutable view (e.g. a
+	// plane.Snapshot) before returning and must not retain references.
+	// The hook runs outside the parallel proposal phase and must stay
+	// deterministic to preserve the engine's any-worker-count contract.
+	OnEpoch func(epoch int, wiring [][]int, active []bool)
 	// BROpts tunes the per-node solver.
 	BROpts core.BROptions
 }
@@ -824,6 +834,11 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 			}
 		}
 	}
+	if c.OnEpoch != nil {
+		// Publish the bootstrap wiring so the data plane can answer
+		// queries from epoch 0's first sub-round onward.
+		c.OnEpoch(-1, eng.wiring, eng.active)
+	}
 
 	// Fixed batch partition: node i acts in sub-round i mod B.
 	batches := make([][]int, c.StaggerBatches)
@@ -881,6 +896,9 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		// 1/StaggerBatches of the run's last epoch would silently never
 		// apply while pendingEvents still counted them.
 		eng.runScaleChurn(float64(epoch+1), true)
+		if c.OnEpoch != nil {
+			c.OnEpoch(epoch, eng.wiring, eng.active)
+		}
 		if acted > 0 {
 			ep.MeanEstCost /= float64(acted)
 			ep.MeanBand /= float64(acted)

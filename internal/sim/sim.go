@@ -131,6 +131,16 @@ type Config struct {
 	// Custom Policy implementations must be safe for concurrent Select
 	// calls on distinct Requests.
 	Workers int
+	// OnEpoch, when non-nil, is the data-plane publication hook: it is
+	// called serially once after the initial join (epoch -1) and once
+	// at the end of every epoch (warm and measured alike), after the
+	// epoch's final churn drain and connectivity fallback. wiring and
+	// active are the simulator's own live arrays, borrowed read-only
+	// for the duration of the call — wiring rows may still list links
+	// to departed nodes awaiting delayed repair, which publishers must
+	// filter with active (plane.Compile does). Must stay deterministic
+	// to preserve the any-worker-count contract.
+	OnEpoch func(epoch int, wiring [][]int, active []bool)
 	// Incremental switches the proposal phase's residual-matrix
 	// construction from one full all-pairs computation per node to an
 	// incrementally repaired shortest-path forest per worker: each node's
@@ -690,6 +700,9 @@ func (st *state) run() (*Result, error) {
 		}
 	}
 
+	if cfg.OnEpoch != nil {
+		cfg.OnEpoch(-1, st.wiring, st.active)
+	}
 	total := cfg.WarmEpochs + cfg.MeasureEpochs
 	for epoch := 0; epoch < total; epoch++ {
 		if cfg.PrefAt != nil {
@@ -735,6 +748,9 @@ func (st *state) run() (*Result, error) {
 			return nil, err
 		}
 		st.enforceCycleIfNeeded()
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, st.wiring, st.active)
+		}
 
 		// Each node announces (192 + 32k bits) every Tannounce = T/3.
 		for i := 0; i < cfg.N; i++ {
