@@ -1,0 +1,83 @@
+// Command egoist-lab is the real-process deployment harness: it takes
+// one scenario spec, runs the reference simulation, then launches a
+// fleet of real egoistd daemons on loopback UDP — membership
+// bootstrapped by PEX gossip, no static roster — replays the spec's
+// event timeline against the live processes (leave waves kill -9,
+// join waves restart, outages inject transport drop rules), measures
+// the distributed overlay's per-pair cost from the nodes' own data
+// planes every epoch, and gates the run on the final costs of the two
+// legs agreeing to within a bound.
+//
+//	egoist-lab -spec leave-wave -n 50 -epoch 2s -json BENCH_lab.json
+//
+// exits non-zero when the sim leg's expectations fail, the fleet never
+// bootstraps, or the convergence gap exceeds -bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"egoist/internal/scenario"
+)
+
+func main() {
+	var (
+		specArg = flag.String("spec", "", "scenario spec: a JSON file path or a builtin name ("+strings.Join(scenario.BuiltinNames(), ", ")+")")
+		n       = flag.Int("n", 0, "override the spec's overlay size (0 keeps it)")
+		epoch   = flag.Duration("epoch", 2*time.Second, "live wiring epoch T")
+		bound   = flag.Float64("bound", 0.10, "relative final-cost gap gate vs the sim leg")
+		bin     = flag.String("bin", "", "egoistd binary to deploy (required)")
+		jsonOut = flag.String("json", "", "write the metrics record (BENCH_lab.json) here")
+		workers = flag.Int("workers", 0, "sim-leg parallelism (0 = NumCPU)")
+		dir     = flag.String("dir", "", "keep per-node logs and announce files here (default: temp dir, removed on success)")
+		verbose = flag.Bool("v", true, "log deployment progress")
+	)
+	flag.Parse()
+
+	if *specArg == "" {
+		log.Fatalf("egoist-lab: -spec is required")
+	}
+	if *bin == "" {
+		log.Fatalf("egoist-lab: -bin is required (go build -o egoistd ./cmd/egoistd)")
+	}
+	var spec scenario.Spec
+	if _, err := os.Stat(*specArg); err == nil {
+		spec, err = scenario.Load(*specArg)
+		if err != nil {
+			log.Fatalf("egoist-lab: %v", err)
+		}
+	} else if s, ok := scenario.Builtin(*specArg); ok {
+		spec = s
+	} else {
+		log.Fatalf("egoist-lab: %q is neither a spec file nor a builtin (%s)", *specArg, strings.Join(scenario.BuiltinNames(), ", "))
+	}
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	m, err := scenario.RunLab(spec, scenario.LabOptions{
+		Bin: *bin, N: *n, Epoch: *epoch, Bound: *bound,
+		Workers: *workers, Dir: *dir, Logf: logf,
+	})
+	if m != nil && *jsonOut != "" {
+		if werr := scenario.WriteMetricsJSON(*jsonOut, []*scenario.Metrics{m}); werr != nil {
+			log.Fatalf("egoist-lab: %v", werr)
+		}
+		log.Printf("egoist-lab: metrics written to %s", *jsonOut)
+	}
+	if err != nil {
+		log.Fatalf("egoist-lab: %v", err)
+	}
+	lab := m.Lab
+	fmt.Printf("lab %s: n=%d processes=%d kills=%d restarts=%d isolated=%d\n",
+		m.Scenario, m.N, lab.Processes, lab.Kills, lab.Restarts, lab.Isolated)
+	fmt.Printf("lab %s: cost lab=%.2f sim=%.2f gap=%.1f%% (bound %.0f%%) bootstrap=%.1fs wall=%.1fs\n",
+		m.Scenario, lab.LabFinalCost, lab.SimFinalCost, lab.Gap*100, lab.Bound*100,
+		lab.BootstrapSeconds, lab.WallSeconds)
+}

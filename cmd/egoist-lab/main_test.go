@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"egoist/internal/clitest"
+	"egoist/internal/scenario"
+)
+
+func buildEgoistd(t *testing.T) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "egoistd")
+	out, err := exec.Command(goTool, "build", "-o", bin, "egoist/cmd/egoistd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build egoistd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestMainDeploysFleet runs the whole command in process — spec file
+// load, a real 8-process deployment, and the metrics artifact — so the
+// happy path lands in the coverage profile.
+func TestMainDeploysFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deploys a process fleet")
+	}
+	egoistd := buildEgoistd(t)
+	dir := t.TempDir()
+	spec := scenario.Spec{
+		Name: "cli-smoke", Engine: "scale",
+		N: 8, K: 2, Seed: 11, Epochs: 3,
+		Sample: "demand:6",
+		Events: []scenario.Event{{Epoch: 1.5, Kind: scenario.LeaveWave, Frac: 0.15}},
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := filepath.Join(dir, "BENCH_lab.json")
+	clitest.RunMain(t, main, "egoist-lab",
+		"-spec", specPath, "-bin", egoistd,
+		"-epoch", "250ms", "-bound", "0.8",
+		"-json", jsonOut, "-v=false")
+
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	var records []scenario.Metrics
+	if err := json.Unmarshal(raw, &records); err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("artifact has %d records, want 1", len(records))
+	}
+	m := records[0]
+	if m.Engine != scenario.EngineLab || m.Lab == nil {
+		t.Fatalf("record engine %q lab=%v, want lab engine with lab half", m.Engine, m.Lab)
+	}
+	if m.Lab.Processes != 8 || m.Lab.Kills != 1 {
+		t.Errorf("processes=%d kills=%d, want 8 and 1", m.Lab.Processes, m.Lab.Kills)
+	}
+}
+
+// TestBadInputsFail drives every fatal path as a subprocess: the
+// command must exit non-zero, never hang, on each misconfiguration.
+func TestBadInputsFail(t *testing.T) {
+	bin := clitest.Build(t, "egoist-lab")
+	dir := t.TempDir()
+	badSpec := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badSpec, []byte(`{"name":"x"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fakeBin := filepath.Join(dir, "egoistd")
+	if err := os.WriteFile(fakeBin, []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no spec", []string{"-bin", fakeBin}},
+		{"no bin", []string{"-spec", "leave-wave"}},
+		{"unknown spec name", []string{"-spec", "not-a-builtin", "-bin", fakeBin}},
+		{"unparsable spec file", []string{"-spec", badSpec, "-bin", fakeBin}},
+		{"missing bin file", []string{"-spec", "leave-wave", "-bin", filepath.Join(dir, "nope")}},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(bin, tc.args...)
+		done := make(chan error, 1)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%s: exited zero, want failure", tc.name)
+			}
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+			t.Errorf("%s: hung instead of exiting", tc.name)
+		}
+	}
+}
+
+// TestGapGateWritesArtifactAndFails pins the contract CI relies on:
+// when the convergence gate fails, the metrics artifact is still
+// written (the evidence) and the exit is non-zero (the verdict).
+func TestGapGateWritesArtifactAndFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deploys a process fleet")
+	}
+	bin := clitest.Build(t, "egoist-lab")
+	egoistd := buildEgoistd(t)
+	dir := t.TempDir()
+	spec := scenario.Spec{
+		Name: "cli-gate", Engine: "scale",
+		N: 6, K: 2, Seed: 3, Epochs: 2, Sample: "demand:4",
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	data, _ := json.Marshal(spec)
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := filepath.Join(dir, "gate.json")
+	// An absurdly tight bound makes the gate fail deterministically: a
+	// live fleet never matches the sim to within one part in a million.
+	out, err := exec.Command(bin,
+		"-spec", specPath, "-bin", egoistd,
+		"-epoch", "250ms", "-bound", "0.000001",
+		"-json", jsonOut, "-v=false").CombinedOutput()
+	if err == nil {
+		t.Fatalf("gap gate passed at bound 1e-6:\n%s", out)
+	}
+	var records []scenario.Metrics
+	raw, rerr := os.ReadFile(jsonOut)
+	if rerr != nil || json.Unmarshal(raw, &records) != nil || len(records) != 1 {
+		t.Fatalf("failed gate must still write the artifact: read=%v\n%s", rerr, out)
+	}
+	if records[0].Lab == nil || records[0].Lab.Gap <= 0.000001 {
+		t.Fatalf("artifact gap %+v does not explain the failure", records[0].Lab)
+	}
+}

@@ -1,0 +1,158 @@
+package linkstate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLinkStateDecode throws arbitrary datagrams at the full UDP wire
+// decode path — exactly what a node's recvLoop does with bytes from the
+// network. Every decoder must reject garbage with an error, never
+// panic, and anything that does decode must survive a bounded apply
+// against a topology database and re-encode to a decode fixpoint
+// (decode∘encode∘decode is the identity on the decoded value).
+//
+// Run as a 30s smoke in CI, like FuzzSpecDecode in internal/scenario.
+func FuzzLinkStateDecode(f *testing.F) {
+	// Seed with real encodings of every message type, plus edge shapes.
+	lsas := []*LSA{
+		{Origin: 0, Seq: 0},
+		{Origin: 3, Seq: 42, Neighbors: []Neighbor{{ID: 1, Cost: 2.5}}},
+		{Origin: 65535, Seq: ^uint64(0), Neighbors: []Neighbor{
+			{ID: 0, Cost: 0}, {ID: 7, Cost: 1e9}, {ID: 65535, Cost: 0.001},
+		}},
+	}
+	for _, l := range lsas {
+		f.Add(l.Marshal())
+	}
+	for _, c := range []*Control{
+		{Type: TypeHello, From: 1, Token: 7},
+		{Type: TypeHelloAck, From: 2, Token: 7},
+		{Type: TypeEcho, From: 3, Token: 99},
+		{Type: TypeEchoReply, From: 4, Token: 99},
+		{Type: TypeJoin, From: 5, Token: 0},
+	} {
+		f.Add(c.Marshal())
+	}
+	if jr, err := (&JoinReply{From: 1, Members: []uint16{2, 3, 4}}).Marshal(); err == nil {
+		f.Add(jr)
+	}
+	if d, err := (&Data{Src: 1, Dst: 2, Via: NoVia, TTL: 8, Seq: 5, Payload: []byte("payload")}).Marshal(); err == nil {
+		f.Add(d)
+	}
+	if pl, err := (&PeerList{From: 9, Peers: []PeerAddr{
+		{ID: 1, IP: [4]byte{127, 0, 0, 1}, Port: 9001},
+		{ID: 2, IP: [4]byte{10, 0, 0, 2}, Port: 65535},
+	}}).Marshal(); err == nil {
+		f.Add(pl)
+	}
+	// Truncations and a corrupted type byte exercise the error paths.
+	full := lsas[2].Marshal()
+	f.Add(full[:HeaderBytes])
+	f.Add(full[:HeaderBytes-1])
+	bad := append([]byte(nil), full...)
+	bad[3] = 0xFF
+	f.Add(bad)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, err := MessageType(data)
+		if err != nil {
+			return // not even a header; nothing else may be decodable
+		}
+		switch typ {
+		case TypeLSA:
+			l, err := UnmarshalLSA(data)
+			if err != nil {
+				return
+			}
+			// Bounded apply: whatever decodes must be safe to fold into a
+			// database and materialize as a graph.
+			db := NewDB(256, 0, nil)
+			db.Apply(l)
+			g := db.Graph()
+			if g.N() != 256 {
+				t.Fatalf("graph size %d after apply", g.N())
+			}
+			// Decode fixpoint (not byte equality: cost quantization and
+			// reserved padding may canonicalize).
+			l2, err := UnmarshalLSA(l.Marshal())
+			if err != nil {
+				t.Fatalf("re-encode of decoded LSA does not decode: %v", err)
+			}
+			if l2.Origin != l.Origin || l2.Seq != l.Seq || len(l2.Neighbors) != len(l.Neighbors) {
+				t.Fatalf("LSA fixpoint mismatch: %+v vs %+v", l, l2)
+			}
+			for i := range l.Neighbors {
+				if l2.Neighbors[i] != l.Neighbors[i] {
+					t.Fatalf("neighbor %d drifted: %+v vs %+v", i, l.Neighbors[i], l2.Neighbors[i])
+				}
+			}
+		case TypeHello, TypeHelloAck, TypeEcho, TypeEchoReply, TypeJoin:
+			c, err := UnmarshalControl(data)
+			if err != nil {
+				return
+			}
+			c2, err := UnmarshalControl(c.Marshal())
+			if err != nil || *c2 != *c {
+				t.Fatalf("control fixpoint mismatch: %+v vs %+v (%v)", c, c2, err)
+			}
+		case TypeJoinReply:
+			jr, err := UnmarshalJoinReply(data)
+			if err != nil {
+				return
+			}
+			enc, err := jr.Marshal()
+			if err != nil {
+				t.Fatalf("decoded join-reply does not re-encode: %v", err)
+			}
+			jr2, err := UnmarshalJoinReply(enc)
+			if err != nil || jr2.From != jr.From || len(jr2.Members) != len(jr.Members) {
+				t.Fatalf("join-reply fixpoint mismatch: %+v vs %+v (%v)", jr, jr2, err)
+			}
+			for i := range jr.Members {
+				if jr2.Members[i] != jr.Members[i] {
+					t.Fatalf("member %d drifted: %d vs %d", i, jr.Members[i], jr2.Members[i])
+				}
+			}
+		case TypeData:
+			d, err := UnmarshalData(data)
+			if err != nil {
+				return
+			}
+			enc, err := d.Marshal()
+			if err != nil {
+				t.Fatalf("decoded data does not re-encode: %v", err)
+			}
+			d2, err := UnmarshalData(enc)
+			if err != nil {
+				t.Fatalf("data fixpoint does not decode: %v", err)
+			}
+			if d2.Src != d.Src || d2.Dst != d.Dst || d2.Via != d.Via ||
+				d2.TTL != d.TTL || d2.Seq != d.Seq || !bytes.Equal(d2.Payload, d.Payload) {
+				t.Fatalf("data fixpoint mismatch: %+v vs %+v", d, d2)
+			}
+		case TypePEX:
+			pl, err := UnmarshalPeerList(data)
+			if err != nil {
+				return
+			}
+			enc, err := pl.Marshal()
+			if err != nil {
+				t.Fatalf("decoded peer list does not re-encode: %v", err)
+			}
+			pl2, err := UnmarshalPeerList(enc)
+			if err != nil {
+				t.Fatalf("peer-list fixpoint does not decode: %v", err)
+			}
+			if pl2.From != pl.From || len(pl2.Peers) != len(pl.Peers) {
+				t.Fatalf("peer-list fixpoint mismatch: %+v vs %+v", pl, pl2)
+			}
+			for i := range pl.Peers {
+				if pl2.Peers[i] != pl.Peers[i] {
+					t.Fatalf("peer entry %d drifted: %+v vs %+v", i, pl.Peers[i], pl2.Peers[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package linkstate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// TypePEX is a gossip peer-exchange message.
+const TypePEX = 9
+
+// The PEX bootstrap protocol
+//
+// The static roster of cmd/egoistd does not survive real deployments:
+// a node joining a running overlay knows only one or two rendezvous
+// addresses, and a node that restarts comes back at an address nobody
+// re-reads from a file. Peer exchange (PEX) replaces the roster with
+// three rules, all carried by the one TypePEX message below:
+//
+//  1. Learn by hearing. A node that receives any control-plane message
+//     whose From field names the immediate sender (Hello, Echo, Join,
+//     PEX — never a flooded LSA, whose Origin is not the sender)
+//     registers the claimed id at the datagram's source address. A
+//     rendezvous node therefore needs no prior knowledge of a
+//     newcomer: the newcomer's TypeJoin teaches the rendezvous its
+//     address, and the JoinReply + PeerList answer teaches the
+//     newcomer the membership.
+//
+//  2. Push on announce. Every LSA re-broadcast period the node sends
+//     its PeerList — a bounded sample of its address book, self
+//     included — to a few (pexFanout) randomly chosen known peers.
+//     Membership thus spreads epidemically: with fanout f a new
+//     address reaches n nodes in O(log_f n) announce periods.
+//
+//  3. Last write wins. Register overwrites the address of a known id,
+//     so a node that restarts on a new address supersedes its stale
+//     entry wherever its next announcement (or a gossiped PeerList
+//     that includes it) lands.
+//
+// Addresses are claimed, not verified — the protocol trusts its
+// transport domain, which for the lab harness is a single machine's
+// loopback. A wide-area deployment would authenticate announcements;
+// that is out of scope here, as in the paper's own deployment.
+//
+// Wire format: the 8-byte header magic(2) version(1) type(1) from(2)
+// count(2), then count 8-byte entries id(2) ipv4(4) port(2).
+
+// pexHeaderBytes is the PeerList wire header size.
+const pexHeaderBytes = 8
+
+// pexEntryBytes is the wire size of one PeerAddr.
+const pexEntryBytes = 8
+
+// MaxPexPeers bounds the entries in one PeerList datagram (2 KB of
+// entries — comfortably inside one loopback UDP datagram).
+const MaxPexPeers = 256
+
+// PeerAddr is one gossiped membership entry: a node id and its IPv4
+// UDP address.
+type PeerAddr struct {
+	ID   uint16
+	IP   [4]byte
+	Port uint16
+}
+
+// UDPAddr converts the entry to a net address.
+func (p PeerAddr) UDPAddr() *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(p.IP[0], p.IP[1], p.IP[2], p.IP[3]), Port: int(p.Port)}
+}
+
+// PeerAddrOf packs a net address into a gossip entry; ok is false for
+// non-IPv4 addresses (which PEX does not carry).
+func PeerAddrOf(id int, addr *net.UDPAddr) (PeerAddr, bool) {
+	if addr == nil || id < 0 || id > int(^uint16(0)) {
+		return PeerAddr{}, false
+	}
+	ip4 := addr.IP.To4()
+	if ip4 == nil || addr.Port <= 0 || addr.Port > 65535 {
+		return PeerAddr{}, false
+	}
+	p := PeerAddr{ID: uint16(id), Port: uint16(addr.Port)}
+	copy(p.IP[:], ip4)
+	return p, true
+}
+
+// PeerList is the TypePEX payload: a bounded sample of the sender's
+// address book.
+type PeerList struct {
+	From  uint16
+	Peers []PeerAddr
+}
+
+// Marshal encodes the peer list.
+func (p *PeerList) Marshal() ([]byte, error) {
+	if len(p.Peers) > MaxPexPeers {
+		return nil, fmt.Errorf("linkstate: %d pex entries exceeds %d", len(p.Peers), MaxPexPeers)
+	}
+	buf := make([]byte, pexHeaderBytes+pexEntryBytes*len(p.Peers))
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = 1
+	buf[3] = TypePEX
+	binary.BigEndian.PutUint16(buf[4:], p.From)
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(p.Peers)))
+	off := pexHeaderBytes
+	for _, e := range p.Peers {
+		binary.BigEndian.PutUint16(buf[off:], e.ID)
+		copy(buf[off+2:off+6], e.IP[:])
+		binary.BigEndian.PutUint16(buf[off+6:], e.Port)
+		off += pexEntryBytes
+	}
+	return buf, nil
+}
+
+// UnmarshalPeerList decodes a TypePEX message.
+func UnmarshalPeerList(data []byte) (*PeerList, error) {
+	if len(data) < pexHeaderBytes {
+		return nil, fmt.Errorf("linkstate: short pex message (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:]) != magic || data[2] != 1 || data[3] != TypePEX {
+		return nil, fmt.Errorf("linkstate: not a pex message")
+	}
+	count := int(binary.BigEndian.Uint16(data[6:]))
+	if count > MaxPexPeers {
+		return nil, fmt.Errorf("linkstate: pex count %d exceeds %d", count, MaxPexPeers)
+	}
+	if len(data) != pexHeaderBytes+pexEntryBytes*count {
+		return nil, fmt.Errorf("linkstate: pex length %d, want %d for %d entries",
+			len(data), pexHeaderBytes+pexEntryBytes*count, count)
+	}
+	p := &PeerList{From: binary.BigEndian.Uint16(data[4:])}
+	off := pexHeaderBytes
+	for i := 0; i < count; i++ {
+		var e PeerAddr
+		e.ID = binary.BigEndian.Uint16(data[off:])
+		copy(e.IP[:], data[off+2:off+6])
+		e.Port = binary.BigEndian.Uint16(data[off+6:])
+		p.Peers = append(p.Peers, e)
+		off += pexEntryBytes
+	}
+	return p, nil
+}
+
+// AddressBook is the mutable id→address view a PEX-capable transport
+// exposes to the overlay node: Register folds learned (or superseding)
+// addresses in, Peers snapshots the book for gossip. UDPTransport
+// implements it; the in-memory Bus has no addresses and PEX-less
+// deployments leave the node's book nil.
+type AddressBook interface {
+	Register(id int, addr *net.UDPAddr)
+	Peers() []PeerAddr
+}

@@ -11,6 +11,10 @@ import (
 type Packet struct {
 	From int // sender node id, -1 if unknown
 	Data []byte
+	// Addr is the datagram's source address when the transport has one
+	// (UDP); nil on the in-memory bus. PEX-enabled nodes use it to learn
+	// the addresses of senders the book does not know yet.
+	Addr *net.UDPAddr
 }
 
 // Transport moves datagrams between overlay nodes addressed by node id.
@@ -148,6 +152,7 @@ type UDPTransport struct {
 	mu   sync.RWMutex
 	book map[int]*net.UDPAddr
 	rev  map[string]int
+	drop func(peer int) bool
 	ch   chan Packet
 	done chan struct{}
 	once sync.Once
@@ -178,21 +183,55 @@ func NewUDPTransport(addr string) (*UDPTransport, error) {
 // LocalAddr returns the bound UDP address.
 func (t *UDPTransport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
 
-// Register maps a node id to its UDP address.
+// Register maps a node id to its UDP address, superseding any previous
+// address for the id (last write wins — the restart rule of the PEX
+// protocol, see pex.go).
 func (t *UDPTransport) Register(id int, addr *net.UDPAddr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if old, ok := t.book[id]; ok {
+		delete(t.rev, old.String())
+	}
 	t.book[id] = addr
 	t.rev[addr.String()] = id
+}
+
+// Peers snapshots the address book as gossip entries (non-IPv4 entries
+// are skipped: PEX does not carry them). Implements AddressBook.
+func (t *UDPTransport) Peers() []PeerAddr {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]PeerAddr, 0, len(t.book))
+	for id, addr := range t.book {
+		if p, ok := PeerAddrOf(id, addr); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SetFault installs a drop predicate consulted on every datagram: a
+// send to a matched peer id is silently discarded (like network loss)
+// and an inbound datagram from a matched peer (-1 for unknown senders)
+// never reaches Recv. This is the deployment harness's partition and
+// outage injection point; nil clears all rules.
+func (t *UDPTransport) SetFault(drop func(peer int) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.drop = drop
 }
 
 // Send implements Transport.
 func (t *UDPTransport) Send(to int, data []byte) error {
 	t.mu.RLock()
 	addr, ok := t.book[to]
+	drop := t.drop
 	t.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("linkstate: no address for node %d", to)
+	}
+	if drop != nil && drop(to) {
+		return nil // dropped by an injected fault, like the real network
 	}
 	_, err := t.conn.WriteToUDP(data, addr)
 	return err
@@ -227,11 +266,15 @@ func (t *UDPTransport) recvLoop() {
 		}
 		t.mu.RLock()
 		from, ok := t.rev[raddr.String()]
+		drop := t.drop
 		t.mu.RUnlock()
 		if !ok {
 			from = -1
 		}
-		pkt := Packet{From: from, Data: append([]byte(nil), buf[:n]...)}
+		if drop != nil && drop(from) {
+			continue // inbound leg of an injected fault
+		}
+		pkt := Packet{From: from, Data: append([]byte(nil), buf[:n]...), Addr: raddr}
 		select {
 		case t.ch <- pkt:
 		default: // receiver falling behind: drop

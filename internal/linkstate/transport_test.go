@@ -1,0 +1,274 @@
+package linkstate
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// The happy path of the UDP transport is covered in linkstate_test.go;
+// these are the fault paths the deployment harness leans on: injected
+// drop rules, datagrams from strangers, truncated wire messages, and
+// stale-sequence announcements arriving over the transport.
+
+func udpPair(t *testing.T) (*UDPTransport, *UDPTransport) {
+	t.Helper()
+	a, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	a.Register(1, b.LocalAddr())
+	b.Register(0, a.LocalAddr())
+	return a, b
+}
+
+func recvWithin(t *testing.T, tr *UDPTransport, d time.Duration) (Packet, bool) {
+	t.Helper()
+	select {
+	case pkt := <-tr.Recv():
+		return pkt, true
+	case <-time.After(d):
+		return Packet{}, false
+	}
+}
+
+func TestUDPFaultDropsSends(t *testing.T) {
+	a, b := udpPair(t)
+	a.SetFault(func(peer int) bool { return peer == 1 })
+	msg := (&Control{Type: TypeHello, From: 0, Token: 7}).Marshal()
+	if err := a.Send(1, msg); err != nil {
+		t.Fatalf("faulted send must look like loss, not error: %v", err)
+	}
+	if pkt, ok := recvWithin(t, b, 300*time.Millisecond); ok {
+		t.Fatalf("dropped datagram delivered: %+v", pkt)
+	}
+	// Clearing the rule restores delivery.
+	a.SetFault(nil)
+	if err := a.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+		t.Fatal("send after clearing the fault never arrived")
+	}
+}
+
+func TestUDPFaultDropsInbound(t *testing.T) {
+	a, b := udpPair(t)
+	b.SetFault(func(peer int) bool { return peer == 0 })
+	msg := (&Control{Type: TypeHello, From: 0, Token: 9}).Marshal()
+	if err := a.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if pkt, ok := recvWithin(t, b, 300*time.Millisecond); ok {
+		t.Fatalf("inbound-faulted datagram delivered: %+v", pkt)
+	}
+	b.SetFault(nil)
+	if err := a.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+		t.Fatal("inbound delivery never resumed")
+	}
+}
+
+// TestUDPStrangerCarriesAddr: datagrams from unregistered senders
+// arrive with From=-1 but carry the source address — the hook the PEX
+// learn-by-hearing rule needs.
+func TestUDPStrangerCarriesAddr(t *testing.T) {
+	a, _ := udpPair(t)
+	stranger, err := net.DialUDP("udp", nil, a.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	msg := (&Control{Type: TypeJoin, From: 5, Token: 0}).Marshal()
+	if _, err := stranger.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := recvWithin(t, a, 2*time.Second)
+	if !ok {
+		t.Fatal("stranger datagram never arrived")
+	}
+	if pkt.From != -1 {
+		t.Fatalf("stranger resolved to id %d, want -1", pkt.From)
+	}
+	if pkt.Addr == nil {
+		t.Fatal("stranger packet lost its source address")
+	}
+	want := stranger.LocalAddr().(*net.UDPAddr)
+	if pkt.Addr.Port != want.Port {
+		t.Fatalf("source port %d, want %d", pkt.Addr.Port, want.Port)
+	}
+	// Once registered, the same source resolves by id — and an inbound
+	// fault on that id now applies.
+	a.Register(5, want)
+	if _, err := stranger.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok = recvWithin(t, a, 2*time.Second)
+	if !ok {
+		t.Fatal("registered stranger's datagram never arrived")
+	}
+	if pkt.From != 5 {
+		t.Fatalf("registered stranger resolved to %d, want 5", pkt.From)
+	}
+}
+
+// TestUDPRegisterSupersedes pins last-write-wins: re-registering an id
+// at a new address drops the old reverse mapping.
+func TestUDPRegisterSupersedes(t *testing.T) {
+	a, b := udpPair(t)
+	c, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a.Register(1, c.LocalAddr()) // node 1 "restarted" at c's address
+	c.Register(0, a.LocalAddr())
+	msg := (&Control{Type: TypeHello, From: 0, Token: 1}).Marshal()
+	if err := a.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, c, 2*time.Second); !ok {
+		t.Fatal("send after re-register went to the old address")
+	}
+	// The old address is now a stranger.
+	if err := b.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := recvWithin(t, a, 2*time.Second)
+	if !ok {
+		t.Fatal("old-address datagram never arrived")
+	}
+	if pkt.From != -1 {
+		t.Fatalf("superseded address still resolves to id %d", pkt.From)
+	}
+}
+
+// TestTruncatedDatagrams: every decoder must reject truncations of a
+// valid message at every length without panicking; the transport still
+// delivers the bytes (it is not the transport's job to parse).
+func TestTruncatedDatagrams(t *testing.T) {
+	lsa := &LSA{Origin: 3, Seq: 9, Neighbors: []Neighbor{{ID: 1, Cost: 2.5}, {ID: 4, Cost: 0.1}}}
+	full := lsa.Marshal()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := UnmarshalLSA(full[:cut]); err == nil {
+			t.Fatalf("truncated LSA of %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	pl := &PeerList{From: 2, Peers: []PeerAddr{{ID: 1, IP: [4]byte{127, 0, 0, 1}, Port: 9000}}}
+	pdata, err := pl.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(pdata); cut++ {
+		if _, err := UnmarshalPeerList(pdata[:cut]); err == nil {
+			t.Fatalf("truncated pex of %d/%d bytes accepted", cut, len(pdata))
+		}
+	}
+	d := &Data{Src: 0, Dst: 1, Via: NoVia, TTL: 8, Seq: 1, Payload: []byte("hi")}
+	ddata, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(ddata); cut++ {
+		if _, err := UnmarshalData(ddata[:cut]); err == nil {
+			t.Fatalf("truncated data of %d/%d bytes accepted", cut, len(ddata))
+		}
+	}
+	// And over the wire: a truncated datagram arrives intact for the
+	// node layer to reject.
+	a, b := udpPair(t)
+	if err := a.Send(1, full[:HeaderBytes+1]); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := recvWithin(t, b, 2*time.Second)
+	if !ok {
+		t.Fatal("truncated datagram never delivered")
+	}
+	if _, err := UnmarshalLSA(pkt.Data); err == nil {
+		t.Fatal("truncated wire LSA accepted")
+	}
+}
+
+// TestStaleSequenceOverTransport: an LSA with a lower sequence arriving
+// over the transport must not regress the database (the freshness rule
+// a restarting node's SeqBase leans on).
+func TestStaleSequenceOverTransport(t *testing.T) {
+	a, b := udpPair(t)
+	db := NewDB(8, 0, nil)
+	fresh := &LSA{Origin: 3, Seq: 100, Neighbors: []Neighbor{{ID: 1, Cost: 5}}}
+	stale := &LSA{Origin: 3, Seq: 99, Neighbors: []Neighbor{{ID: 2, Cost: 1}}}
+	for i, l := range []*LSA{fresh, stale} {
+		if err := a.Send(1, l.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		pkt, ok := recvWithin(t, b, 2*time.Second)
+		if !ok {
+			t.Fatalf("LSA %d never arrived", i)
+		}
+		got, err := UnmarshalLSA(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := db.Apply(got)
+		if want := i == 0; applied != want {
+			t.Fatalf("LSA seq %d: applied=%v, want %v", got.Seq, applied, want)
+		}
+	}
+	// The graph reflects the fresh announcement only.
+	g := db.Graph()
+	if !g.HasArc(3, 1) || g.HasArc(3, 2) {
+		t.Fatal("stale LSA leaked into the announced graph")
+	}
+	if seq, _ := db.Seq(3); seq != 100 {
+		t.Fatalf("db seq %d, want 100", seq)
+	}
+}
+
+func TestPeerListRoundTrip(t *testing.T) {
+	pl := &PeerList{From: 7, Peers: []PeerAddr{
+		{ID: 0, IP: [4]byte{127, 0, 0, 1}, Port: 7000},
+		{ID: 513, IP: [4]byte{10, 1, 2, 3}, Port: 65535},
+	}}
+	data, err := pl.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, err := MessageType(data)
+	if err != nil || typ != TypePEX {
+		t.Fatalf("MessageType = %d, %v", typ, err)
+	}
+	got, err := UnmarshalPeerList(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != pl.From || len(got.Peers) != len(pl.Peers) {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	for i := range pl.Peers {
+		if got.Peers[i] != pl.Peers[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got.Peers[i], pl.Peers[i])
+		}
+	}
+	if a := pl.Peers[1].UDPAddr(); a.String() != "10.1.2.3:65535" {
+		t.Fatalf("UDPAddr = %s", a)
+	}
+	// Oversized lists refuse to marshal; oversized counts refuse to parse.
+	big := &PeerList{From: 1, Peers: make([]PeerAddr, MaxPexPeers+1)}
+	if _, err := big.Marshal(); err == nil {
+		t.Fatal("oversized peer list marshalled")
+	}
+	if _, ok := PeerAddrOf(70000, &net.UDPAddr{IP: net.IPv4(1, 2, 3, 4), Port: 80}); ok {
+		t.Fatal("id above uint16 packed")
+	}
+	if _, ok := PeerAddrOf(1, &net.UDPAddr{IP: net.ParseIP("::1"), Port: 80}); ok {
+		t.Fatal("IPv6 packed into a PEX entry")
+	}
+}

@@ -12,6 +12,7 @@ package overlay
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -69,6 +70,19 @@ type Config struct {
 	// echo measurements, letting loopback deployments reproduce wide-area
 	// geometry. The probe's real RTT is still included.
 	DelayOracle func(from, to int) float64
+	// Book, when non-nil, enables PEX gossip membership (the bootstrap
+	// protocol documented in linkstate/pex.go): the node learns sender
+	// addresses from inbound control messages, answers Join requests
+	// with its peer list, and pushes a bounded sample of the book to a
+	// few random peers every announce period. The caller must register
+	// the node's own address and its bootstrap contacts in the book
+	// before Start. Nil keeps the static pre-registered transport.
+	Book linkstate.AddressBook
+	// SeqBase offsets this node's LSA sequence numbers. A restarting
+	// daemon must pass a value exceeding every sequence of its previous
+	// life (cmd/egoistd uses the wall clock), or peers still holding the
+	// old LSAs discard the new ones as stale until they age out.
+	SeqBase uint64
 	// Cheat, when non-nil, rewrites this node's announced link costs —
 	// the free-rider model of Sect. 4.5.
 	Cheat *cheat.Model
@@ -115,7 +129,8 @@ type Node struct {
 	est       map[int]*ewma     // smoothed one-way delay estimates, ms
 	pending   map[uint64]int    // echo token -> peer
 	lastAck   map[int]time.Time // heartbeat acks from donated links
-	joined    map[int]bool      // peers learned from bootstrap replies
+	lastReply map[int]time.Time // last echo reply per peer, for staleness
+	joined    map[int]bool      // peers learned from bootstrap or PEX
 	donated   []int
 	rewires   int // cumulative established links
 	epochs    int
@@ -126,15 +141,40 @@ type Node struct {
 	done sync.WaitGroup
 }
 
-type ewma struct{ v float64 }
+// ewma estimates a peer's one-way delay from echo probes. Queueing and
+// scheduler noise on a probe RTT is strictly additive — the propagation
+// delay is the *floor* of the samples, not their mean — so the estimate
+// is the minimum over a sliding window of recent probes (the standard
+// ping-based estimator). A plain mean inflates every arc by the host's
+// load and, worse, unevenly: co-deployed fleets measured ~50% relative
+// error per arc, which both distorts neighbor selection and mis-prices
+// announced links. The window keeps the filter adaptive: a genuinely
+// slower path ages in after estWindow samples.
+type ewma struct {
+	v    float64 // current estimate: min over the ring
+	ring [estWindow]float64
+	n    int // samples folded (ring is full once n >= estWindow)
+}
+
+// estWindow is the sample window of the min-filter: at a probe every
+// Epoch/4, eight samples span two epochs — the same horizon as the
+// probe-staleness cutoff.
+const estWindow = 8
 
 func (e *ewma) fold(x float64) {
-	const alpha = 0.3
-	if e.v == 0 {
-		e.v = x
-		return
+	e.ring[e.n%estWindow] = x
+	e.n++
+	lim := e.n
+	if lim > estWindow {
+		lim = estWindow
 	}
-	e.v = alpha*x + (1-alpha)*e.v
+	min := e.ring[0]
+	for i := 1; i < lim; i++ {
+		if e.ring[i] < min {
+			min = e.ring[i]
+		}
+	}
+	e.v = min
 }
 
 // Start launches the node's protocol loops.
@@ -143,14 +183,16 @@ func Start(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:     cfg,
-		db:      linkstate.NewDB(cfg.N, 5*cfg.Epoch, nil),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<17)),
-		est:     make(map[int]*ewma),
-		pending: make(map[uint64]int),
-		lastAck: make(map[int]time.Time),
-		joined:  make(map[int]bool),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		db:        linkstate.NewDB(cfg.N, 5*cfg.Epoch, nil),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<17)),
+		seq:       cfg.SeqBase,
+		est:       make(map[int]*ewma),
+		pending:   make(map[uint64]int),
+		lastAck:   make(map[int]time.Time),
+		lastReply: make(map[int]time.Time),
+		joined:    make(map[int]bool),
+		stop:      make(chan struct{}),
 	}
 	for _, b := range cfg.Bootstrap {
 		if b != cfg.ID && b >= 0 && b < cfg.N && len(n.neighbors) < cfg.K {
@@ -243,6 +285,8 @@ func (n *Node) recvLoop() {
 			n.handleData(pkt)
 		case linkstate.TypeJoinReply:
 			n.handleJoinReply(pkt)
+		case linkstate.TypePEX:
+			n.handlePex(pkt)
 		default:
 			n.handleControl(pkt)
 		}
@@ -271,6 +315,10 @@ func (n *Node) handleControl(pkt linkstate.Packet) {
 		return
 	}
 	from := int(c.From)
+	// Learn by hearing (PEX rule 1): a control message's From names the
+	// immediate sender, so its source address can enter the book — this
+	// is how a rendezvous node learns a newcomer it has never seen.
+	n.learnPeer(from, pkt.Addr)
 	switch c.Type {
 	case linkstate.TypeEcho:
 		reply := &linkstate.Control{Type: linkstate.TypeEchoReply, From: uint16(n.cfg.ID), Token: c.Token}
@@ -294,6 +342,87 @@ func (n *Node) handleControl(pkt linkstate.Packet) {
 		if data, err := reply.Marshal(); err == nil {
 			n.send(from, data)
 		}
+		// With PEX the ids alone are useless to a newcomer; hand it the
+		// addresses too.
+		n.sendPeerList(from)
+	}
+}
+
+// learnPeer folds a sender's claimed id and observed source address
+// into the PEX book and the known-peer set. No-op without a book, for
+// self-claims, or when the transport carries no addresses.
+func (n *Node) learnPeer(id int, addr *net.UDPAddr) {
+	if n.cfg.Book == nil || addr == nil || id == n.cfg.ID || id < 0 || id >= n.cfg.N {
+		return
+	}
+	n.cfg.Book.Register(id, addr)
+	n.mu.Lock()
+	n.joined[id] = true
+	n.mu.Unlock()
+}
+
+// handlePex folds a gossiped peer list into the book (PEX rules 2+3).
+func (n *Node) handlePex(pkt linkstate.Packet) {
+	if n.cfg.Book == nil {
+		return
+	}
+	p, err := linkstate.UnmarshalPeerList(pkt.Data)
+	if err != nil {
+		return
+	}
+	n.learnPeer(int(p.From), pkt.Addr)
+	n.mu.Lock()
+	for _, e := range p.Peers {
+		id := int(e.ID)
+		if id == n.cfg.ID || id >= n.cfg.N {
+			continue
+		}
+		n.cfg.Book.Register(id, e.UDPAddr())
+		n.joined[id] = true
+	}
+	n.mu.Unlock()
+}
+
+// sendPeerList sends a bounded sample of the book to one peer.
+func (n *Node) sendPeerList(to int) {
+	if n.cfg.Book == nil {
+		return
+	}
+	peers := n.cfg.Book.Peers()
+	if len(peers) > linkstate.MaxPexPeers {
+		peers = peers[:linkstate.MaxPexPeers]
+	}
+	msg := &linkstate.PeerList{From: uint16(n.cfg.ID), Peers: peers}
+	if data, err := msg.Marshal(); err == nil {
+		n.send(to, data)
+	}
+}
+
+// pexFanout is how many random peers each announce-period gossip push
+// reaches; membership spreads in O(log n) pushes.
+const pexFanout = 3
+
+// gossipPeers pushes the book to pexFanout random known peers. Runs on
+// the timer goroutine (the rng's owner).
+func (n *Node) gossipPeers() {
+	if n.cfg.Book == nil {
+		return
+	}
+	var ids []int
+	for _, p := range n.cfg.Book.Peers() {
+		if int(p.ID) != n.cfg.ID {
+			ids = append(ids, int(p.ID))
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	n.rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+	if len(ids) > pexFanout {
+		ids = ids[:pexFanout]
+	}
+	for _, t := range ids {
+		n.sendPeerList(t)
 	}
 }
 
@@ -339,6 +468,7 @@ func (n *Node) handleEchoReply(c *linkstate.Control) {
 		n.est[peer] = e
 	}
 	e.fold(oneWay)
+	n.lastReply[peer] = now
 	n.mu.Unlock()
 }
 
@@ -346,12 +476,26 @@ func (n *Node) handleEchoReply(c *linkstate.Control) {
 // timers on one goroutine.
 func (n *Node) timerLoop() {
 	defer n.done.Done()
-	epochT := time.NewTicker(n.cfg.Epoch)
+	// The wiring clock runs at a private phase within T: a fleet of
+	// nodes started together would otherwise re-wire in lockstep, each
+	// planning against the same stale joint state — the simultaneous-
+	// move dynamics the engines avoid by staggering adoptions within an
+	// epoch (and real deployments avoid because nothing synchronizes
+	// them). The first epoch fires at T + phase, later ones every T.
+	phase := time.Duration(n.rng.Int63n(int64(n.cfg.Epoch)))
+	firstEpochT := time.NewTimer(n.cfg.Epoch + phase)
+	var epochT *time.Ticker
+	var epochC <-chan time.Time
 	announceT := time.NewTicker(n.cfg.Announce)
 	heartbeatT := time.NewTicker(n.cfg.Heartbeat)
 	// Probe early so the first epoch has estimates.
 	probeT := time.NewTicker(n.cfg.Epoch / 4)
-	defer epochT.Stop()
+	defer firstEpochT.Stop()
+	defer func() {
+		if epochT != nil {
+			epochT.Stop()
+		}
+	}()
 	defer announceT.Stop()
 	defer heartbeatT.Stop()
 	defer probeT.Stop()
@@ -363,12 +507,17 @@ func (n *Node) timerLoop() {
 			return
 		case <-probeT.C:
 			n.probeAll()
-		case <-epochT.C:
+		case <-firstEpochT.C:
+			epochT = time.NewTicker(n.cfg.Epoch)
+			epochC = epochT.C
+			n.runEpoch()
+		case <-epochC:
 			n.runEpoch()
 		case <-announceT.C:
 			n.mu.Lock()
 			n.announceLocked()
 			n.mu.Unlock()
+			n.gossipPeers()
 		case <-heartbeatT.C:
 			n.heartbeat()
 		}
@@ -420,18 +569,30 @@ func (n *Node) runEpoch() {
 	active[n.cfg.ID] = true
 
 	n.mu.Lock()
+	// A peer that has stopped answering probes for two epochs is dead or
+	// partitioned away: its EWMA estimate is a ghost that would otherwise
+	// keep it wireable forever (its stale LSA can outlive it by several
+	// epochs). Treat it as absent; if it heals, the next answered probe
+	// reactivates it.
+	staleCutoff := time.Now().Add(-2 * n.cfg.Epoch)
 	direct := make([]float64, n.cfg.N)
 	haveAny := false
 	for j := 0; j < n.cfg.N; j++ {
 		if j == n.cfg.ID {
 			continue
 		}
-		if e, ok := n.est[j]; ok {
+		e, ok := n.est[j]
+		if ok {
+			if lr, seen := n.lastReply[j]; seen && lr.Before(staleCutoff) {
+				ok = false
+			}
+		}
+		if ok {
 			direct[j] = e.v
 			haveAny = true
 		} else {
-			// Unmeasured peers cannot be costed: treat them as absent
-			// until a probe round reaches them.
+			// Unmeasured (or silent) peers cannot be costed: treat them
+			// as absent until a probe round reaches them.
 			direct[j] = core.DisconnectedPenalty
 			active[j] = false
 		}
@@ -507,6 +668,7 @@ func (n *Node) heartbeat() {
 			dropped = append(dropped, t)
 			delete(n.lastAck, t)
 			delete(n.est, t)
+			delete(n.lastReply, t)
 		} else {
 			alive = append(alive, t)
 		}

@@ -1,0 +1,215 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"egoist/internal/linkstate"
+)
+
+// TestPexBootstrap is the gossip-membership integration test: five
+// nodes on real loopback UDP, where only the rendezvous node (0) is
+// known to the others at start — node 0 itself knows nobody. Every
+// node must learn every other node's address purely through the PEX
+// protocol (join replies + announce-period gossip), and the overlay
+// must wire itself from that discovered membership.
+func TestPexBootstrap(t *testing.T) {
+	const n = 5
+	transports := make([]*linkstate.UDPTransport, n)
+	for i := range transports {
+		tr, err := linkstate.NewUDPTransport("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		transports[i] = tr
+		tr.Register(i, tr.LocalAddr()) // self entry: gossiped so others learn us
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		var boot []int
+		if i != 0 {
+			transports[i].Register(0, transports[0].LocalAddr())
+			boot = []int{0}
+		}
+		node, err := Start(Config{
+			ID: i, N: n, K: 2,
+			Transport: transports[i],
+			Book:      transports[i],
+			Epoch:     400 * time.Millisecond,
+			Bootstrap: boot,
+			Seed:      int64(i) + 1,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = node
+		defer node.Stop()
+	}
+
+	// Every book must fill in (n entries including self) and every node
+	// must come to know every other node.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		done := true
+		for i, tr := range transports {
+			if len(tr.Peers()) < n {
+				done = false
+				break
+			}
+			known := map[int]bool{}
+			for _, o := range nodes[i].KnownNodes() {
+				known[o] = true
+			}
+			for j := 0; j < n; j++ {
+				if j != i && !known[j] {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, tr := range transports {
+				t.Logf("node %d: book=%d known=%v", i, len(tr.Peers()), nodes[i].KnownNodes())
+			}
+			t.Fatal("PEX never propagated full membership")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The wiring must follow: every node establishes k out-links from
+	// the gossiped membership.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		wired := 0
+		for _, node := range nodes {
+			if len(node.Neighbors()) == 2 {
+				wired++
+			}
+		}
+		if wired == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, node := range nodes {
+				t.Logf("node %d: neighbors=%v", i, node.Neighbors())
+			}
+			t.Fatalf("only %d/%d nodes wired their budget", wired, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPexRestartSupersedes pins the restart rule: a node that comes
+// back with a fresh transport on a new address and a SeqBase above its
+// old sequences must re-enter the overlay — peers must supersede both
+// its address (last write wins) and its stale LSAs.
+func TestPexRestartSupersedes(t *testing.T) {
+	const n = 3
+	mk := func(i int) *linkstate.UDPTransport {
+		tr, err := linkstate.NewUDPTransport("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		tr.Register(i, tr.LocalAddr())
+		return tr
+	}
+	start := func(i int, tr *linkstate.UDPTransport, boot []int, seqBase uint64) *Node {
+		node, err := Start(Config{
+			ID: i, N: n, K: 1,
+			Transport: tr, Book: tr,
+			Epoch:     300 * time.Millisecond,
+			Bootstrap: boot,
+			Seed:      int64(i) + 1,
+			SeqBase:   seqBase,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		return node
+	}
+	transports := []*linkstate.UDPTransport{mk(0), mk(1), mk(2)}
+	nodes := make([]*Node, n)
+	nodes[0] = start(0, transports[0], nil, 0)
+	for i := 1; i < n; i++ {
+		transports[i].Register(0, transports[0].LocalAddr())
+		nodes[i] = start(i, transports[i], []int{0}, 0)
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+
+	waitKnown := func(who int, want int, msg string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			known := map[int]bool{}
+			for _, o := range nodes[who].KnownNodes() {
+				known[o] = true
+			}
+			if known[want] {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: node %d never learned %d (known %v)", msg, who, want, nodes[who].KnownNodes())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitKnown(0, 2, "initial bootstrap")
+	preSeq, ok := seqOf(nodes[0], 2)
+	if !ok {
+		t.Fatal("node 0 has no LSA from node 2")
+	}
+
+	// Kill node 2 hard (no goodbye), restart on a NEW address with a
+	// clock-derived SeqBase, bootstrapping from node 1 this time.
+	nodes[2].Stop()
+	tr2 := mk(2)
+	transports[2] = tr2
+	tr2.Register(1, transports[1].LocalAddr())
+	nodes[2] = start(2, tr2, []int{1}, uint64(time.Now().UnixNano()))
+
+	// Node 0 must see a *fresher* LSA from the reborn node 2: its old
+	// entry is only superseded if the restart's SeqBase outruns it.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if seq, ok := seqOf(nodes[0], 2); ok && seq > preSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			seq, _ := seqOf(nodes[0], 2)
+			t.Fatalf("node 0 still holds seq %d from node 2's first life (pre-restart %d)", seq, preSeq)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// And the book must come to point at the new address (the LSA can
+	// outrun the gossip that carries the address, so poll).
+	want := tr2.LocalAddr().String()
+	for {
+		got := ""
+		for _, p := range transports[0].Peers() {
+			if int(p.ID) == 2 {
+				got = p.UDPAddr().String()
+			}
+		}
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0's book has node 2 at %q, want the restart address %s", got, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func seqOf(n *Node, origin int) (uint64, bool) {
+	return n.DB().Seq(uint16(origin))
+}
+
+// DB exposes the link-state database to tests in this package.
+func (n *Node) DB() *linkstate.DB { return n.db }

@@ -63,6 +63,9 @@ type Metrics struct {
 	// Serve holds the serve-under-churn measurements when the spec
 	// enables the data plane (nil otherwise).
 	Serve *ServeMetrics `json:"serve,omitempty"`
+	// Lab holds the deployment measurements when the record came from
+	// the real-process lab engine (RunLab; nil for simulated runs).
+	Lab *LabMetrics `json:"lab,omitempty"`
 }
 
 // ServeMetrics records the data plane hammered alongside a scenario:
