@@ -14,6 +14,14 @@
 //
 // Repeated runs of the same benchmark (-count) are merged by taking the
 // minimum ns/op — the least-noise estimate of the code's speed.
+//
+// The -json form skips parsing and gates records already in the
+// artifact schema — e.g. the scale engine's per-epoch wall-clock
+// records from egoist-bench:
+//
+//	benchjson -json BENCH_scale.json \
+//	          -baseline ci/bench_baseline.json \
+//	          -gate '^scale/n=10000/' -threshold 1.30
 package main
 
 import (
@@ -101,6 +109,7 @@ func gate(cur, base []experiments.BenchRecord, re *regexp.Regexp, threshold floa
 func main() {
 	var (
 		in        = flag.String("in", "-", "bench output to read ('-' = stdin)")
+		inJSON    = flag.String("json", "", "read records from this BENCH_*.json artifact instead of parsing bench text (for gating non-benchmark records, e.g. scale epoch times)")
 		out       = flag.String("out", "", "write parsed records to this JSON file")
 		baseline  = flag.String("baseline", "", "baseline JSON file to gate against")
 		gateRe    = flag.String("gate", "", "regexp of benchmark names the gate applies to")
@@ -108,23 +117,33 @@ func main() {
 	)
 	flag.Parse()
 
-	var src io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	var recs []experiments.BenchRecord
+	var err error
+	if *inJSON != "" {
+		recs, err = experiments.ReadBenchJSON(*inJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		defer f.Close()
-		src = f
-	}
-	recs, err := parse(src)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(2)
+	} else {
+		var src io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			src = f
+		}
+		recs, err = parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(recs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark records found")
 		os.Exit(2)
 	}
 	if *out != "" {

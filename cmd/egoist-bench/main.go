@@ -8,6 +8,7 @@
 //	egoist-bench -fig all -scale quick
 //	egoist-bench -list
 //	egoist-bench -scale 10000 -sample demand:500 -bench-json BENCH_scale.json
+//	egoist-bench -scale-sweep 10000,30000,100000 -shards 4 -bench-json BENCH_scale.json
 //	egoist-bench -scenario leave-wave-10k -scenarios-json BENCH_scenarios.json
 //	egoist-bench -scenarios ci/scenarios -engines scale,full
 //
@@ -28,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"egoist/internal/experiments"
@@ -48,7 +51,7 @@ func loadScenario(arg string) (scenario.Spec, error) {
 
 // runScenarios executes specs × engines (a spec with an explicit
 // engine runs only there) and writes the metrics artifact.
-func runScenarios(specs []scenario.Spec, engines []string, workers int, outJSON string) {
+func runScenarios(specs []scenario.Spec, engines []string, workers, shards int, outJSON string) {
 	var recs []*scenario.Metrics
 	failed := false
 	for _, spec := range specs {
@@ -58,7 +61,7 @@ func runScenarios(specs []scenario.Spec, engines []string, workers int, outJSON 
 		}
 		for _, eng := range specEngines {
 			start := time.Now()
-			m, err := scenario.Run(spec, scenario.Options{Engine: eng, Workers: workers})
+			m, err := scenario.Run(spec, scenario.Options{Engine: eng, Workers: workers, Shards: shards})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "egoist-bench: scenario %s/%s: %v\n", spec.Name, eng, err)
 				failed = true
@@ -111,9 +114,9 @@ func writeSVG(dir string, fig *experiments.Figure) error {
 	return experiments.RenderSVG(f, fig)
 }
 
-// runScaleMode executes one large-scale convergence run and optionally
-// writes its BENCH_scale.json record.
-func runScaleMode(n int, sampleSpec string, epochs, k, workers int, benchJSON string) {
+// runScaleSize executes one large-scale convergence run and returns
+// its benchmark record plus whether the run converged.
+func runScaleSize(n int, sampleSpec string, epochs, k, workers, shards int) (experiments.BenchRecord, bool, error) {
 	spec, err := sampling.ParseSpec(sampleSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
@@ -127,28 +130,91 @@ func runScaleMode(n int, sampleSpec string, epochs, k, workers int, benchJSON st
 	}
 	cfg := sim.ScaleConfig{
 		N: n, K: k, Seed: 2008, Sample: spec,
-		MaxEpochs: epochs, Workers: workers,
+		MaxEpochs: epochs, Workers: workers, Shards: shards,
 	}
 	start := time.Now()
 	res, rec, err := experiments.MeasureScale(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "egoist-bench: scale run: %v\n", err)
-		os.Exit(1)
+		return rec, false, err
 	}
-	fmt.Printf("scale run: n=%d k=%d sample=%v workers=%d\n", n, k, spec, workers)
+	fmt.Printf("scale run: n=%d k=%d sample=%v workers=%d shards=%d\n", n, k, spec, workers, cfg.Shards)
 	fmt.Printf("%-7s %9s %14s %14s %6s %9s\n", "epoch", "rewires", "est cost", "95% band", "pool", "wall")
 	for e, ep := range res.PerEpoch {
 		fmt.Printf("%-7d %9d %14.1f %14.1f %6d %8.1fs\n",
 			e, ep.Rewires, ep.MeanEstCost, ep.MeanBand, ep.PoolSize, float64(ep.WallNS)/1e9)
 	}
-	fmt.Printf("converged=%v epochs=%d meanSample=%.1f total=%v\n",
-		res.Converged, res.Epochs, res.MeanSampleSize, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("converged=%v epochs=%d meanSample=%.1f peakRSS=%.0fMB total=%v\n",
+		res.Converged, res.Epochs, res.MeanSampleSize, rec.PeakRSSBytes/1e6,
+		time.Since(start).Round(time.Millisecond))
+	return rec, res.Converged, nil
+}
+
+// runScaleMode executes one large-scale convergence run and optionally
+// writes its BENCH_scale.json record.
+func runScaleMode(n int, sampleSpec string, epochs, k, workers, shards int, benchJSON string) {
+	rec, _, err := runScaleSize(n, sampleSpec, epochs, k, workers, shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egoist-bench: scale run: %v\n", err)
+		os.Exit(1)
+	}
 	if benchJSON != "" {
 		if err := experiments.WriteBenchJSON(benchJSON, []experiments.BenchRecord{rec}); err != nil {
 			fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", benchJSON)
+	}
+}
+
+// runScaleSweep runs the explicit n-sweep (sizes ascending, so each
+// VmHWM reading is that size's own peak — see peakRSSBytes) and writes
+// one record per size. Sample sizes follow the headline recipe
+// min(n/20, 500). Unlike the single -scale mode, a non-converging
+// size fails the sweep: the nightly n-sweep doubles as the
+// converges-within-the-bound acceptance gate.
+func runScaleSweep(sizesCSV string, epochs, k, workers, shards int, benchJSON string) {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		n, err := parsePositiveInt(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: bad -scale-sweep size %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	var recs []experiments.BenchRecord
+	for _, n := range sizes {
+		kk := k
+		if kk <= 0 {
+			kk = 8
+			if n < 1000 {
+				kk = 4
+			}
+		}
+		m := n / 20
+		if m > 500 {
+			m = 500
+		}
+		if m < kk+2 {
+			m = kk + 2
+		}
+		rec, converged, err := runScaleSize(n, fmt.Sprintf("demand:%d", m), epochs, k, workers, shards)
+		if err == nil && !converged {
+			err = fmt.Errorf("n=%d did not converge in %d epochs", n, rec.N)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: scale sweep: %v\n", err)
+			os.Exit(1)
+		}
+		recs = append(recs, rec)
+	}
+	if benchJSON != "" {
+		if err := experiments.WriteBenchJSON(benchJSON, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", benchJSON, len(recs))
 	}
 }
 
@@ -163,6 +229,8 @@ func main() {
 		sample    = flag.String("sample", "demand:500", "sampling spec for the large-scale engine: strategy:m (uniform, demand, strat)")
 		epochs    = flag.Int("epochs", 0, "epoch cap for the large-scale engine (0 = engine default)")
 		kFlag     = flag.Int("k", 0, "degree budget for the large-scale engine (0 = size default)")
+		shards    = flag.Int("shards", 0, "shard count for the scale engine's directory and proposal phase (0 = 1 for -scale runs, spec value for scenarios; results are byte-identical for any value)")
+		scaleSwp  = flag.String("scale-sweep", "", "comma-separated overlay sizes (e.g. 10000,30000,100000): run the large-scale engine once per size, ascending, and write one BENCH record each")
 		benchJSON = flag.String("bench-json", "", "write BENCH_scale.json-style records to this path (scale runs and -fig scale)")
 		scenOne   = flag.String("scenario", "", "run one declarative scenario: a built-in name (see internal/scenario) or a spec file")
 		scenDir   = flag.String("scenarios", "", "run every *.json scenario spec in this directory as a matrix across -engines")
@@ -195,12 +263,17 @@ func main() {
 			}
 			specs = append(specs, dirSpecs...)
 		}
-		runScenarios(specs, engines, *workers, *scenJSON)
+		runScenarios(specs, engines, *workers, *shards, *scenJSON)
+		return
+	}
+
+	if *scaleSwp != "" {
+		runScaleSweep(*scaleSwp, *epochs, *kFlag, *workers, *shards, *benchJSON)
 		return
 	}
 
 	if n, err := parsePositiveInt(*scale); err == nil {
-		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *benchJSON)
+		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *shards, *benchJSON)
 		return
 	}
 

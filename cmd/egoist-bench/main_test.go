@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"egoist/internal/clitest"
+	"egoist/internal/experiments"
 	"egoist/internal/scenario"
 )
 
@@ -29,6 +30,24 @@ func TestMainInProcess(t *testing.T) {
 	clitest.RunMain(t, main, "egoist-bench", "-list")
 	clitest.RunMain(t, main, "egoist-bench", "-scale", "80", "-sample", "uniform:10", "-k", "2", "-epochs", "2", "-workers", "2",
 		"-bench-json", filepath.Join(dir, "scale.json"))
+
+	// The n-sweep path: both sizes converge well inside 24 epochs, and
+	// the artifact carries one record per size with the RSS column set.
+	sweepJSON := filepath.Join(dir, "sweep.json")
+	clitest.RunMain(t, main, "egoist-bench", "-scale-sweep", "60,40", "-epochs", "24", "-workers", "2", "-shards", "2",
+		"-bench-json", sweepJSON)
+	recs, err := experiments.ReadBenchJSON(sweepJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "scale/n=40/demand:6" || recs[1].Name != "scale/n=60/demand:6" {
+		t.Fatalf("sweep records = %+v, want ascending n=40,60", recs)
+	}
+	for _, rec := range recs {
+		if rec.NsPerOp <= 0 {
+			t.Fatalf("sweep record missing per-epoch wall-clock: %+v", rec)
+		}
+	}
 }
 
 // Smoke tests: build the real binary and drive its scenario mode end

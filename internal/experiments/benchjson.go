@@ -24,6 +24,11 @@ type BenchRecord struct {
 	// N is the iteration count behind the measurement (benchmark b.N,
 	// or epochs run for scale records).
 	N int `json:"n"`
+	// PeakRSSBytes is the process peak resident set (VmHWM) observed
+	// after the measurement — the memory-ceiling column of the scale
+	// n-sweep. Zero (and omitted) for Go benchmark conversions and on
+	// platforms without /proc.
+	PeakRSSBytes float64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // WriteBenchJSON writes records to path as a sorted, indented JSON

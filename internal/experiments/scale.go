@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"egoist/internal/core"
 	"egoist/internal/graph"
@@ -93,7 +96,11 @@ func FigScale(s Scale) (*Figure, error) {
 }
 
 // MeasureScale runs one large-scale simulation and reports it as a
-// benchmark record (ns and allocations per epoch).
+// benchmark record (ns and allocations per epoch, plus the process
+// peak RSS after the run). The record name carries only (n, sample) —
+// Workers and Shards are physical layout knobs the engine's
+// determinism contract keeps invisible, so records gate cleanly
+// against baselines measured at any layout.
 func MeasureScale(cfg sim.ScaleConfig) (*sim.ScaleResult, BenchRecord, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -107,12 +114,39 @@ func MeasureScale(cfg sim.ScaleConfig) (*sim.ScaleResult, BenchRecord, error) {
 		wall += ep.WallNS
 	}
 	rec := BenchRecord{
-		Name:        fmt.Sprintf("scale/n=%d/%v", cfg.N, cfg.Sample),
-		NsPerOp:     float64(wall) / float64(res.Epochs),
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(res.Epochs),
-		N:           res.Epochs,
+		Name:         fmt.Sprintf("scale/n=%d/%v", cfg.N, cfg.Sample),
+		NsPerOp:      float64(wall) / float64(res.Epochs),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(res.Epochs),
+		N:            res.Epochs,
+		PeakRSSBytes: peakRSSBytes(),
 	}
 	return res, rec, nil
+}
+
+// peakRSSBytes reads the process peak resident set (VmHWM) from
+// /proc/self/status, or 0 where unavailable. The high-water mark is
+// process-wide and monotonic, so a multi-size sweep must run its sizes
+// ascending for each reading to equal that size's own peak.
+func peakRSSBytes() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // TrueScaleCost computes the exact full-roster mean per-node routing

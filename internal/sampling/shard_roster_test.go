@@ -1,0 +1,64 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDrawFromShardAssembledRoster pins the property the scale
+// engine's shard layer relies on for unbiasedness: DrawFrom depends
+// only on the roster's contents, so an alive roster assembled by
+// concatenating per-shard contiguous id bands draws the identical
+// sample — destinations AND Horvitz–Thompson weights — as the global
+// sorted roster, for every strategy.
+func TestDrawFromShardAssembledRoster(t *testing.T) {
+	const n, shards = 300, 4
+	// Alive set with gaps (every multiple of 7 departed).
+	var global []int
+	for v := 0; v < n; v++ {
+		if v%7 != 0 {
+			global = append(global, v)
+		}
+	}
+	// Shard-assembled copy: band s owns [s·n/S, (s+1)·n/S); concatenating
+	// the bands in shard order reproduces the sorted roster.
+	var assembled []int
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		for _, v := range global {
+			if v >= lo && v < hi {
+				assembled = append(assembled, v)
+			}
+		}
+	}
+	pref := make([]float64, n)
+	direct := make([]float64, n)
+	for v := 0; v < n; v++ {
+		pref[v] = 1 + float64(v%9)
+		direct[v] = 1 + float64((v*13)%41)
+	}
+	for _, spec := range []Spec{
+		{Strategy: Uniform, M: 40},
+		{Strategy: Demand, M: 40},
+		{Strategy: Stratified, M: 40},
+	} {
+		const self = 11
+		a, err := spec.DrawFrom(rand.New(rand.NewSource(77)), self, global, pref, direct)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		b, err := spec.DrawFrom(rand.New(rand.NewSource(77)), self, assembled, pref, direct)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if len(a.Dests) != len(b.Dests) {
+			t.Fatalf("%v: sample sizes differ: %d vs %d", spec, len(a.Dests), len(b.Dests))
+		}
+		for x := range a.Dests {
+			if a.Dests[x] != b.Dests[x] || a.InvProb[x] != b.InvProb[x] {
+				t.Fatalf("%v: draw diverged at %d: (%d, %v) vs (%d, %v)",
+					spec, x, a.Dests[x], a.InvProb[x], b.Dests[x], b.InvProb[x])
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package scenario
+
+import "testing"
+
+func TestBuiltinNamesRoundTrip(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in scenarios")
+	}
+	for _, name := range names {
+		s, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("BuiltinNames lists %q but Builtin cannot find it", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("built-in %q does not validate: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Fatal("Builtin found a scenario that does not exist")
+	}
+}
+
+func TestEngineList(t *testing.T) {
+	got, err := EngineList("")
+	if err != nil || len(got) != 1 || got[0] != EngineScale {
+		t.Fatalf("EngineList(\"\") = %v, %v", got, err)
+	}
+	got, err = EngineList(" scale , full ")
+	if err != nil || len(got) != 2 || got[0] != EngineScale || got[1] != EngineFull {
+		t.Fatalf("EngineList(\" scale , full \") = %v, %v", got, err)
+	}
+	if _, err := EngineList("scale,warp"); err == nil {
+		t.Fatal("EngineList accepted an unknown engine")
+	}
+}

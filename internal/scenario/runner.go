@@ -24,6 +24,10 @@ type Options struct {
 	// Workers is the engine parallelism (0 = NumCPU). Metrics are
 	// byte-identical for any value.
 	Workers int
+	// Shards overrides the spec's shard count (0 keeps it). Like
+	// Workers, a physical layout knob: metrics are byte-identical for
+	// any value. Scale engine only.
+	Shards int
 }
 
 // Metrics is one run's deterministic record — the BENCH_scenarios.json
@@ -339,7 +343,7 @@ func Run(spec Spec, opts Options) (*Metrics, error) {
 	}
 	switch engine {
 	case EngineScale:
-		err = runScaleEngine(&spec, comp, opts.Workers, m)
+		err = runScaleEngine(&spec, comp, opts, m)
 	case EngineFull:
 		err = runFullEngine(&spec, comp, opts.Workers, m)
 	default:
@@ -360,7 +364,7 @@ func (s *Spec) recoverTol() float64 {
 	return 0.05
 }
 
-func runScaleEngine(spec *Spec, comp *compiled, workers int, m *Metrics) error {
+func runScaleEngine(spec *Spec, comp *compiled, opts Options, m *Metrics) error {
 	sampleStr := spec.Sample
 	if sampleStr == "" {
 		ms := spec.N / 20
@@ -376,10 +380,14 @@ func runScaleEngine(spec *Spec, comp *compiled, workers int, m *Metrics) error {
 	if err != nil {
 		return err
 	}
+	shards := spec.Shards
+	if opts.Shards != 0 {
+		shards = opts.Shards
+	}
 	cfg := sim.ScaleConfig{
 		N: spec.N, K: spec.K, Seed: spec.Seed,
 		Sample: sample, Epsilon: spec.Epsilon,
-		MaxEpochs: spec.Epochs, Workers: workers,
+		MaxEpochs: spec.Epochs, Workers: opts.Workers, Shards: shards,
 		Churn:    comp.sched,
 		DemandAt: comp.demandAt,
 	}

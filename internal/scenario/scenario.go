@@ -71,6 +71,12 @@ type Spec struct {
 	// (default "demand:max(k+2, min(n/20, 500))"). Ignored by the full
 	// engine.
 	Sample string `json:"sample,omitempty"`
+	// Shards partitions the scale engine's facility directory and
+	// proposal phase into contiguous id bands (0 = 1). A physical
+	// layout knob only: metrics records are byte-identical at any
+	// value, so it never appears in Metrics. Ignored by the full
+	// engine.
+	Shards int `json:"shards,omitempty"`
 	// Demand selects the preference weights p_ij (nil = uniform).
 	Demand *DemandModel `json:"demand,omitempty"`
 	// Churn is the background membership process (nil = static).
@@ -191,6 +197,9 @@ func (s *Spec) Validate() error {
 		if _, err := sampling.ParseSpec(s.Sample); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
+	}
+	if s.Shards < 0 || s.Shards > s.N {
+		return fmt.Errorf("scenario %s: shards = %d outside [0, n=%d]", s.Name, s.Shards, s.N)
 	}
 	if s.Demand != nil {
 		switch s.Demand.Kind {

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file extends the PR-4 engine-equivalence suite to the shard
+// dimension: the scale engine's shard count is a physical layout knob
+// like Workers, so every committed CI scenario spec must produce
+// byte-identical Metrics JSON at any (shards, workers) combination.
+// The CI shard-determinism job runs the same twin-runs out of process
+// (egoist-bench + cmp); this test pins the contract in-tree.
+
+// TestCIScenariosByteIdenticalAcrossShards twin-runs every spec in
+// ci/scenarios/ on the scale engine across shards {1,4} × workers
+// {1,4} and byte-compares the Metrics JSON against the shards=1,
+// workers=1 reference. Only the scale engine participates: the full
+// engine has no shard dimension (Options.Shards is ignored there).
+func TestCIScenariosByteIdenticalAcrossShards(t *testing.T) {
+	for _, spec := range ciSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ref, err := Run(spec, Options{Engine: EngineScale, Workers: 1, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jref, err := json.Marshal(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 4} {
+				for _, workers := range []int{1, 4} {
+					if shards == 1 && workers == 1 {
+						continue
+					}
+					m, err := Run(spec, Options{Engine: EngineScale, Workers: workers, Shards: shards})
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+					}
+					jm, err := json.Marshal(m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(jref, jm) {
+						t.Fatalf("shards=%d workers=%d metrics diverged from shards=1 workers=1:\n%s\n%s",
+							shards, workers, jref, jm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzShardSpec fuzzes the shard-config surface of the spec pipeline:
+// strict decode, the Shards/N validation seam, and — for small valid
+// specs — the determinism contract itself, twin-running the scale
+// engine at the fuzzed shard count vs shards=1 and byte-comparing the
+// Metrics JSON. Seeds are the committed ci/scenarios corpus (whose
+// outage/leave-wave timelines drain entire id bands — i.e. entire
+// shards — mid-run) crossed with adversarial shard counts. Properties:
+// decode+Validate never panic; a validated spec has Shards in [0, N]
+// and round-trips losslessly; and no valid (spec, shards) pair can
+// change a single Metrics byte.
+//
+// CI runs this as a short -fuzztime smoke step; run it longer locally
+// with: go test ./internal/scenario -run '^$' -fuzz FuzzShardSpec
+func FuzzShardSpec(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "ci", "scenarios", "*.json"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(string(data), 0)
+			f.Add(string(data), 4)
+		}
+	}
+	small := `{"name":"x","n":24,"k":2,"epochs":4,"sample":"uniform:6"}`
+	for _, s := range []int{0, 1, 3, 7, 24, 25, 255, -1} {
+		f.Add(small, s)
+	}
+	// Churn that drains a band the fuzzed shard count may isolate.
+	f.Add(`{"name":"x","n":40,"k":2,"epochs":6,"sample":"uniform:8","events":[{"epoch":2,"kind":"outage","region":0,"regions":4},{"epoch":4,"kind":"heal","region":0,"regions":4}]}`, 4)
+	f.Add(`{"name":"x","n":40,"k":2,"epochs":6,"sample":"uniform:8","churn":{"process":"exp","on_mean":8,"off_mean":2}}`, 8)
+	f.Add(`{"name":"","n":0,"k":0,"epochs":0}`, 1000000)
+
+	f.Fuzz(func(t *testing.T, data string, shards int) {
+		dec := json.NewDecoder(strings.NewReader(data))
+		dec.DisallowUnknownFields()
+		var s Spec
+		if err := dec.Decode(&s); err != nil {
+			return
+		}
+		s.Shards = shards
+		if err := s.Validate(); err != nil {
+			return
+		}
+		if s.Shards < 0 || s.Shards > s.N {
+			t.Fatalf("validated spec has shards = %d outside [0, n=%d]", s.Shards, s.N)
+		}
+		// Round-trip: re-save, strict re-decode, re-validate.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v (%+v)", err, s)
+		}
+		dec2 := json.NewDecoder(strings.NewReader(string(out)))
+		dec2.DisallowUnknownFields()
+		var s2 Spec
+		if err := dec2.Decode(&s2); err != nil {
+			t.Fatalf("round-trip decode failed: %v\n%s", err, out)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("round-tripped spec no longer validates: %v\n%s", err, out)
+		}
+		if s2.Shards != s.Shards {
+			t.Fatalf("shards did not round-trip: %d -> %d\n%s", s.Shards, s2.Shards, out)
+		}
+		// Twin-run the determinism contract for specs small enough to
+		// simulate inside a fuzz iteration. Expect-gated specs are skipped
+		// (a violated expectation is an error by design, not a shard bug);
+		// the churn bounds mirror FuzzSpecDecode's compile bounds.
+		if s.N > 120 || s.Epochs > 12 {
+			return
+		}
+		if s.Expect != nil || s.Serve != nil {
+			return
+		}
+		if c := s.Churn; c != nil && c.Process != "static" && (c.OnMean < 0.1 || c.OffMean < 0.1) {
+			return
+		}
+		cmpShards := s.Shards
+		if cmpShards <= 1 {
+			cmpShards = 4
+			if cmpShards > s.N {
+				cmpShards = s.N
+			}
+		}
+		a, errA := Run(s, Options{Engine: EngineScale, Workers: 2, Shards: 1})
+		b, errB := Run(s, Options{Engine: EngineScale, Workers: 2, Shards: cmpShards})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("shards=1 err=%v but shards=%d err=%v\n%s", errA, cmpShards, errB, out)
+		}
+		if errA != nil {
+			return
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("metrics diverged at shards=%d:\n%s\n%s\nspec: %s", cmpShards, ja, jb, out)
+		}
+	})
+}

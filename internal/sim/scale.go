@@ -87,6 +87,13 @@ type ScaleConfig struct {
 	// Workers is the parallelism of the proposal and pool-row phases
 	// (0 = NumCPU). Results are byte-identical for any value.
 	Workers int
+	// Shards partitions the facility directory and the proposal phase
+	// into this many contiguous node-id bands (0 = 1), each owning its
+	// own DynamicRows instance and a slice of the worker budget —
+	// two-level parallelism, shards × workers. Sharding is a physical
+	// layout choice only: results are byte-identical for any value, and
+	// Shards=1 is the pre-shard single-directory engine. See shard.go.
+	Shards int
 	// StaggerBatches splits each epoch into this many staggered
 	// adoption sub-rounds (default 32). 1 means fully synchronous play —
 	// unstable, see the package comment; n means the paper's
@@ -176,6 +183,12 @@ func (c *ScaleConfig) withDefaults() (ScaleConfig, error) {
 	}
 	if out.StaggerBatches > out.N {
 		out.StaggerBatches = out.N
+	}
+	if out.Shards <= 0 {
+		out.Shards = 1
+	}
+	if out.Shards > out.N {
+		return out, fmt.Errorf("sim: scale Shards = %d exceeds N = %d", out.Shards, out.N)
 	}
 	if out.PoolTarget <= 0 {
 		out.PoolTarget = 2*out.Sample.M + 256
@@ -275,145 +288,6 @@ type ScaleResult struct {
 	DirectoryResets, DirectoryApplies int
 }
 
-// scalePool is the epoch's facility directory: member ids and one
-// exact, incrementally maintained SSSP row per member over the live
-// overlay (graph.DynamicRows).
-type scalePool struct {
-	rows   *graph.DynamicRows
-	ids    []int // sorted member ids
-	indeg  []int32
-	member []bool
-	gbuild *graph.Digraph
-	edits  []graph.RowEdit
-	arcs   []graph.Arc
-}
-
-// rebuild recomputes the directory membership for the epoch — all wired
-// targets (trimmed to the cap by in-degree, ties to lower ids) plus the
-// epoch's explorer rotation and any nodes that joined since the last
-// rebuild — and runs the full per-member Dijkstras. Within the epoch,
-// apply/addMember/dropMember keep the rows exact incrementally.
-func (sp *scalePool) rebuild(c *ScaleConfig, eng *scaleEngine, epoch, workers int) {
-	n := c.N
-	if sp.rows == nil {
-		sp.rows = graph.NewDynamicRows()
-		sp.indeg = make([]int32, n)
-		sp.member = make([]bool, n)
-		sp.gbuild = graph.New(n)
-	}
-	for i := range sp.indeg {
-		sp.indeg[i] = 0
-		sp.member[i] = false
-	}
-	sp.gbuild.Resize(n)
-	// Dead nodes hold no out-links and their in-links were dropped at
-	// the leave event, so indeg-driven membership is alive-only.
-	for u, ws := range eng.wiring {
-		for _, v := range ws {
-			sp.gbuild.AddArc(u, v, c.Net.Delay(u, v))
-			sp.indeg[v]++
-		}
-	}
-	sp.ids = sp.ids[:0]
-	for v := 0; v < n; v++ {
-		if sp.indeg[v] > 0 {
-			sp.member[v] = true
-			sp.ids = append(sp.ids, v)
-		}
-	}
-	if len(sp.ids) > c.PoolTarget {
-		// Trim the least-popular wired targets.
-		sort.Slice(sp.ids, func(a, b int) bool {
-			da, db := sp.indeg[sp.ids[a]], sp.indeg[sp.ids[b]]
-			if da != db {
-				return da > db
-			}
-			return sp.ids[a] < sp.ids[b]
-		})
-		for _, v := range sp.ids[c.PoolTarget:] {
-			sp.member[v] = false
-		}
-		sp.ids = sp.ids[:c.PoolTarget]
-	}
-	// Fresh joiners keep their directory seat through the rebuild after
-	// their join epoch, so the overlay can discover them even before
-	// they attract an in-link.
-	for _, v := range eng.recentJoins {
-		if eng.active[v] && !sp.member[v] {
-			sp.member[v] = true
-			sp.ids = append(sp.ids, v)
-		}
-	}
-	eng.recentJoins = eng.recentJoins[:0]
-	// Explorer rotation: a consecutive id block shifted by the epoch, so
-	// every node periodically appears in the directory even with zero
-	// in-links and the whole roster is covered every n/PoolExplore
-	// epochs. Departed nodes sit the rotation out.
-	for e := 0; e < c.PoolExplore; e++ {
-		v := (epoch*c.PoolExplore + e) % n
-		if !sp.member[v] && eng.active[v] {
-			sp.member[v] = true
-			sp.ids = append(sp.ids, v)
-		}
-	}
-	sort.Ints(sp.ids)
-	sp.rows.Reset(sp.gbuild, sp.ids, workers)
-}
-
-// addMember bootstraps node v into the live directory with one fresh
-// Dijkstra row — the per-join incremental path. sp.ids stays aligned
-// with the rows' source order (Reset preserves it, AddSource appends,
-// dropMember mirrors RemoveSource's swap).
-func (sp *scalePool) addMember(v int) {
-	if sp.member[v] {
-		return
-	}
-	sp.member[v] = true
-	sp.rows.AddSource(v)
-	sp.ids = append(sp.ids, v)
-}
-
-// dropMember removes a departed node's row from the live directory,
-// mirroring DynamicRows.RemoveSource's O(1) swap on sp.ids so
-// positional row access stays aligned.
-func (sp *scalePool) dropMember(v int) {
-	if !sp.member[v] {
-		return
-	}
-	sp.member[v] = false
-	if s := sp.rows.SlotOf(v); s >= 0 {
-		last := len(sp.ids) - 1
-		sp.ids[s] = sp.ids[last]
-		sp.ids = sp.ids[:last]
-		sp.rows.RemoveSource(v)
-	}
-}
-
-// apply folds one sub-round's adopted re-wirings into the directory
-// graph and repairs the member rows incrementally.
-func (sp *scalePool) apply(c *ScaleConfig, rewired []int, wiring [][]int) {
-	if len(rewired) == 0 {
-		return
-	}
-	sp.edits = sp.edits[:0]
-	sp.arcs = sp.arcs[:0]
-	for _, u := range rewired {
-		start := len(sp.arcs)
-		for _, v := range wiring[u] {
-			sp.arcs = append(sp.arcs, graph.Arc{To: v, W: c.Net.Delay(u, v)})
-		}
-		sp.edits = append(sp.edits, graph.RowEdit{Node: u, NewOut: sp.arcs[start:]})
-	}
-	sp.rows.Apply(sp.edits)
-}
-
-// row returns the pool member's distance row, or nil if v is not in the
-// directory.
-func (sp *scalePool) row(v int) []float64 { return sp.rows.Row(v) }
-
-// poolGraph exposes the live directory graph (read-only for proposals).
-func (sp *scalePool) poolGraph() *graph.Digraph { return sp.rows.Graph() }
-
 // scaleWorker is one worker's reusable per-node state.
 type scaleWorker struct {
 	sc      core.Scratch
@@ -452,6 +326,7 @@ type scaleEngine struct {
 	c      *ScaleConfig
 	wiring [][]int
 	pool   *scalePool
+	plan   shardPlan // contiguous node-id bands; see shard.go
 	active []bool
 	// aliveIDs is the sorted alive roster, nil when Churn is nil (the
 	// static path keeps its original full-range sampling). Rebuilt after
@@ -489,35 +364,61 @@ type scaleEngine struct {
 // a pure function of (config, seed) — never of scheduling. Churn
 // events land between sub-rounds, in the same serial section.
 //
-// Consequence, pinned by TestScaleDeterministicAcrossWorkers, the
-// churn twin-run suites and the ci/scenarios engine-equivalence suite:
-// ScaleResult is byte-identical (WallNS aside) for any Workers value.
-// Anything added to the proposal phase must preserve both halves of
-// the contract: no writes to shared state, no RNG stream shared across
-// jobs.
+// The shard layer (PR 7) extends the contract to the shard-merge seam:
+// proposals are scheduled shard-by-shard (each shard's workers price
+// against the shard's own graph replica — identical to every other
+// replica by construction), and the serial half is shard-blind: it
+// folds proposals in ascending node-id order exactly as before, with
+// directory repair fanned to the per-shard instances. The shard count
+// therefore changes memory placement and scheduling, never a value —
+// see the contract note atop shard.go.
+//
+// Consequence, pinned by TestScaleDeterministicAcrossWorkers,
+// TestScaleResultJSONByteIdenticalAcrossShards, the churn twin-run
+// suites and the ci/scenarios engine-equivalence suite: ScaleResult is
+// byte-identical (WallNS aside) for any Workers value and any Shards
+// value. Anything added to the proposal phase must preserve both
+// halves of the contract: no writes to shared state, no RNG stream
+// shared across jobs.
 
-// proposeBatch computes one sub-round's proposals in parallel. props
-// slots of inactive nodes are zeroed so a stale proposal from an
-// earlier epoch can never be adopted on their behalf.
+// proposeBatch computes one sub-round's proposals in parallel,
+// two-level: the outer loop fans the batch's shard-contiguous
+// sub-slices across shards, the inner loop fans a shard's nodes across
+// its wPer-worker slice of the budget, each shard pricing against its
+// own graph replica. props slots of inactive nodes are zeroed so a
+// stale proposal from an earlier epoch can never be adopted on their
+// behalf.
 func (e *scaleEngine) proposeBatch(ws []*scaleWorker, batch []int, epoch int, demand func(i, j int) float64, props []scaleProposal) error {
 	c := e.c
-	return par.DoErr(len(batch), c.Workers, func(worker, bi int) error {
-		i := batch[bi]
-		if !e.active[i] {
-			props[i] = scaleProposal{}
+	plan := &e.plan
+	wPer := e.pool.wPer
+	return par.DoErr(plan.s, c.Workers, func(_, s int) error {
+		// The batch is ascending, so a shard's slice of it is contiguous.
+		lo := sort.SearchInts(batch, plan.bounds[s])
+		hi := lo + sort.SearchInts(batch[lo:], plan.bounds[s+1])
+		sub := batch[lo:hi]
+		if len(sub) == 0 {
 			return nil
 		}
-		w := ws[worker]
-		if w == nil {
-			w = &scaleWorker{}
-			ws[worker] = w
-		}
-		p, err := c.proposeScale(w, e, epoch, i, demand)
-		if err != nil {
-			return err
-		}
-		props[i] = p
-		return nil
+		g := e.pool.graphFor(s)
+		return par.DoErr(len(sub), wPer, func(worker, bi int) error {
+			i := sub[bi]
+			if !e.active[i] {
+				props[i] = scaleProposal{}
+				return nil
+			}
+			w := ws[s*wPer+worker]
+			if w == nil {
+				w = &scaleWorker{}
+				ws[s*wPer+worker] = w
+			}
+			p, err := c.proposeScale(w, e, g, epoch, i, demand)
+			if err != nil {
+				return err
+			}
+			props[i] = p
+			return nil
+		})
 	})
 }
 
@@ -673,7 +574,7 @@ func (e *scaleEngine) join(v int, poolLive bool) {
 		for _, u := range w {
 			e.arcsBuf = append(e.arcsBuf, graph.Arc{To: u, W: c.Net.Delay(v, u)})
 		}
-		e.pool.rows.Apply([]graph.RowEdit{{Node: v, NewOut: e.arcsBuf}})
+		e.pool.applyEdits([]graph.RowEdit{{Node: v, NewOut: e.arcsBuf}})
 		e.pool.addMember(v)
 	}
 }
@@ -714,7 +615,7 @@ func (e *scaleEngine) leave(v int, poolLive bool) {
 		// surviving rows incrementally.
 		e.pool.dropMember(v)
 		e.editsBuf = append(e.editsBuf, graph.RowEdit{Node: v})
-		e.pool.rows.Apply(e.editsBuf)
+		e.pool.applyEdits(e.editsBuf)
 	}
 }
 
@@ -791,11 +692,19 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	}
 	n := c.N
 	workers := par.Workers(c.Workers)
-	ws := make([]*scaleWorker, workers)
+	// Two-level scratch: each shard owns a wPer-slot slice (the same
+	// split the pool applies to its Reset budget), so concurrent shards
+	// never share a scaleWorker.
+	wPer := workers / c.Shards
+	if wPer < 1 {
+		wPer = 1
+	}
+	ws := make([]*scaleWorker, c.Shards*wPer)
 	eng := &scaleEngine{
 		c:      &c,
 		wiring: make([][]int, n),
 		pool:   &scalePool{},
+		plan:   newShardPlan(n, c.Shards),
 		active: make([]bool, n),
 	}
 	for i := range eng.active {
@@ -921,9 +830,9 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		res.MeanSampleSize /= float64(res.Epochs)
 	}
 	res.Wiring = eng.wiring
-	if eng.pool.rows != nil {
-		res.DirectoryResets = eng.pool.rows.Resets()
-		res.DirectoryApplies = eng.pool.rows.Applies()
+	if eng.pool.insts != nil {
+		res.DirectoryResets = eng.pool.resets
+		res.DirectoryApplies = eng.pool.applies
 	}
 	return res, nil
 }
@@ -939,9 +848,11 @@ func (e *scaleEngine) pendingEvents() bool {
 
 // proposeScale computes node i's sampled best response against the
 // current wiring (stable for the duration of the node's batch) and the
-// epoch's pool rows. demand is the epoch's demand function (may be
-// nil for uniform preferences).
-func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, epoch, i int, demand func(i, j int) float64) (scaleProposal, error) {
+// epoch's pool rows. g is the proposing shard's overlay replica
+// (identical to every shard's — passed in so the whole pricing phase
+// reads shard-local memory); demand is the epoch's demand function
+// (may be nil for uniform preferences).
+func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, g *graph.Digraph, epoch, i int, demand func(i, j int) float64) (scaleProposal, error) {
 	n := c.N
 	wiring, pool := eng.wiring, eng.pool
 	rng := policyRNG(c.Seed, epoch, i)
@@ -1007,7 +918,7 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, epoch, i in
 	for _, v := range wiring[i] {
 		w.seeds = append(w.seeds, graph.Arc{To: v, W: c.Net.Delay(i, v)})
 	}
-	w.sp.DijkstraDistSeeded(pool.poolGraph(), i, w.seeds, w.rowI)
+	w.sp.DijkstraDistSeeded(g, i, w.seeds, w.rowI)
 
 	// Candidate set: the destinations a direct link could plausibly
 	// serve — every dark sampled destination (unreachable right now:
@@ -1093,7 +1004,7 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, epoch, i in
 	}
 	// Uniform half from the directory permutation...
 	for _, x := range w.perm[:m/2] {
-		addCand(pool.ids[x], pool.rows.RowAt(x))
+		addCand(pool.ids[x], pool.rowAt(x))
 	}
 	// ...nearest half: order the directory by direct cost once (cached
 	// delays, ids as tie-break) and take the closest members not yet
@@ -1120,7 +1031,7 @@ func (c *ScaleConfig) proposeScale(w *scaleWorker, eng *scaleEngine, epoch, i in
 		if v == i || w.lid[v] >= 0 {
 			continue
 		}
-		addCand(v, pool.rows.RowAt(x))
+		addCand(v, pool.rowAt(x))
 		need--
 	}
 	for _, v := range wiring[i] {

@@ -1,0 +1,94 @@
+package underlay
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewLiteValidation(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if _, err := NewLite(n, 1); err == nil {
+			t.Fatalf("NewLite(%d) accepted", n)
+		}
+	}
+}
+
+// TestLiteDelayProperties checks the constant-memory underlay against
+// the properties the scale engine depends on: zero self-delay, strictly
+// positive pair delays bounded by access + inflated antipodal
+// propagation, determinism in (n, seed), and the deliberate asymmetry
+// of the per-pair inflation hash.
+func TestLiteDelayProperties(t *testing.T) {
+	const n = 60
+	l, err := NewLite(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N() != n {
+		t.Fatalf("N() = %d, want %d", l.N(), n)
+	}
+	mix := PlanetLabMix(n)
+	counts := map[Region]int{}
+	for i := 0; i < n; i++ {
+		counts[l.Site(i).Region]++
+	}
+	for r := Region(0); r < numRegions; r++ {
+		if counts[r] != mix[r] {
+			t.Fatalf("region %v has %d sites, mix says %d", r, counts[r], mix[r])
+		}
+	}
+	// Antipodal upper bound: access + half circumference × factor × max
+	// inflation.
+	maxDelay := 2 + math.Pi*6371*0.015*1.36
+	asymmetric := false
+	for i := 0; i < n; i++ {
+		if d := l.Delay(i, i); d != 0 {
+			t.Fatalf("Delay(%d,%d) = %v, want 0", i, i, d)
+		}
+		for j := i + 1; j < n; j++ {
+			dij, dji := l.Delay(i, j), l.Delay(j, i)
+			if dij <= 0 || dji <= 0 {
+				t.Fatalf("non-positive delay (%d,%d): %v / %v", i, j, dij, dji)
+			}
+			if dij > maxDelay || dji > maxDelay {
+				t.Fatalf("delay (%d,%d) beyond antipodal bound %v: %v / %v", i, j, maxDelay, dij, dji)
+			}
+			if dij != dji {
+				asymmetric = true
+			}
+		}
+	}
+	if !asymmetric {
+		t.Fatal("every pair symmetric; the per-pair inflation hash should differ on (i,j) vs (j,i)")
+	}
+
+	l2, err := NewLite(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if l.Delay(i, j) != l2.Delay(i, j) {
+				t.Fatalf("same (n, seed) but Delay(%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	seen := map[string]bool{}
+	for r := Region(0); r < numRegions; r++ {
+		s := r.String()
+		if s == "" || strings.HasPrefix(s, "Region(") {
+			t.Fatalf("region %d has no name: %q", int(r), s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate region name %q", s)
+		}
+		seen[s] = true
+	}
+	if s := Region(99).String(); s != "Region(99)" {
+		t.Fatalf("unknown region prints %q", s)
+	}
+}
