@@ -22,6 +22,14 @@
 //	benchjson -json BENCH_scale.json \
 //	          -baseline ci/bench_baseline.json \
 //	          -gate '^scale/n=10000/' -threshold 1.30
+//
+// The -serve form gates the publish-cost record family of
+// BENCH_serve.json (from egoist-route -publish-bench) against
+// ci/serve_baseline.json: the delta publication's p50 cost must stay
+// under max_delta_publish_frac of the full recompile's p50 measured on
+// the same publication stream:
+//
+//	benchjson -serve BENCH_serve.json -serve-baseline ci/serve_baseline.json
 package main
 
 import (
@@ -106,6 +114,52 @@ func gate(cur, base []experiments.BenchRecord, re *regexp.Regexp, threshold floa
 	return regressions, missing, matched
 }
 
+// gateServe enforces the publish-cost gate: BENCH_serve.json must
+// carry a publish_full / publish_delta record pair (egoist-route
+// -publish-bench) and the delta p50 must stay under the baseline's
+// max_delta_publish_frac of the full-recompile p50. A missing record
+// or an unset fraction is an error, not a silent pass — a renamed
+// record must never disable the gate.
+func gateServe(recsPath, basePath string) error {
+	if basePath == "" {
+		return fmt.Errorf("-serve needs -serve-baseline")
+	}
+	recs, err := experiments.ReadServeJSON(recsPath)
+	if err != nil {
+		return err
+	}
+	var full, delta *experiments.ServeRecord
+	for i := range recs {
+		switch recs[i].Name {
+		case "publish_full":
+			full = &recs[i]
+		case "publish_delta":
+			delta = &recs[i]
+		}
+	}
+	if full == nil || delta == nil {
+		return fmt.Errorf("%s: needs both publish_full and publish_delta records (run egoist-route -publish-bench)", recsPath)
+	}
+	if full.P50us <= 0 || delta.P50us <= 0 {
+		return fmt.Errorf("%s: empty publish measurements (full p50 %.2fµs, delta p50 %.2fµs)", recsPath, full.P50us, delta.P50us)
+	}
+	bl, err := experiments.ReadServeBaseline(basePath)
+	if err != nil {
+		return err
+	}
+	if bl.MaxDeltaPublishFrac <= 0 {
+		return fmt.Errorf("%s: no max_delta_publish_frac — the publish gate would be a no-op", basePath)
+	}
+	frac := delta.P50us / full.P50us
+	if frac > bl.MaxDeltaPublishFrac {
+		return fmt.Errorf("REGRESSION: delta publish p50 %.1fµs is %.1f%% of the full-recompile p50 %.1fµs (max %.0f%%)",
+			delta.P50us, 100*frac, full.P50us, 100*bl.MaxDeltaPublishFrac)
+	}
+	fmt.Printf("benchjson: publish gate passed: delta p50 %.1fµs = %.1f%% of full p50 %.1fµs (max %.0f%%)\n",
+		delta.P50us, 100*frac, full.P50us, 100*bl.MaxDeltaPublishFrac)
+	return nil
+}
+
 func main() {
 	var (
 		in        = flag.String("in", "-", "bench output to read ('-' = stdin)")
@@ -114,8 +168,18 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON file to gate against")
 		gateRe    = flag.String("gate", "", "regexp of benchmark names the gate applies to")
 		threshold = flag.Float64("threshold", 1.25, "allowed ns/op ratio vs baseline before failing")
+		serveJSON = flag.String("serve", "", "gate the publish records of this BENCH_serve.json artifact instead of parsing bench text")
+		serveBase = flag.String("serve-baseline", "", "serve baseline file for -serve (needs max_delta_publish_frac)")
 	)
 	flag.Parse()
+
+	if *serveJSON != "" {
+		if err := gateServe(*serveJSON, *serveBase); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var recs []experiments.BenchRecord
 	var err error

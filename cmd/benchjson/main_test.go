@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 
+	"egoist/internal/clitest"
 	"egoist/internal/experiments"
 )
 
@@ -71,4 +74,67 @@ func TestGate(t *testing.T) {
 	}, base, re, 1.25); matched != 0 {
 		t.Errorf("renamed benchmark should match nothing, got %d", matched)
 	}
+}
+
+// TestGateServe walks the publish-cost gate through every verdict: a
+// healthy ratio passes, a regression fails, and every way of silently
+// disabling the gate (missing record, empty measurement, unset
+// fraction, missing files) is an error rather than a pass.
+func TestGateServe(t *testing.T) {
+	dir := t.TempDir()
+	recs := filepath.Join(dir, "BENCH_serve.json")
+	base := filepath.Join(dir, "serve_baseline.json")
+	write := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := `[{"name":"publish_full","p50_us":700},{"name":"publish_delta","p50_us":150}]`
+	write(recs, good)
+	write(base, `{"min_onehop_qps":1,"max_delta_publish_frac":0.25}`)
+	if err := gateServe(recs, base); err != nil {
+		t.Fatalf("21%% ratio failed a 25%% gate: %v", err)
+	}
+	write(recs, `[{"name":"publish_full","p50_us":700},{"name":"publish_delta","p50_us":600}]`)
+	if err := gateServe(recs, base); err == nil || !strings.Contains(err.Error(), "REGRESSION") {
+		t.Fatalf("86%% ratio passed a 25%% gate: %v", err)
+	}
+	write(recs, `[{"name":"publish_full","p50_us":700}]`)
+	if err := gateServe(recs, base); err == nil {
+		t.Fatal("missing publish_delta record passed")
+	}
+	write(recs, `[{"name":"publish_full","p50_us":0},{"name":"publish_delta","p50_us":0}]`)
+	if err := gateServe(recs, base); err == nil {
+		t.Fatal("empty measurements passed")
+	}
+	write(recs, good)
+	write(base, `{"min_onehop_qps":1}`)
+	if err := gateServe(recs, base); err == nil {
+		t.Fatal("baseline without max_delta_publish_frac passed (no-op gate)")
+	}
+	if err := gateServe(recs, ""); err == nil {
+		t.Fatal("missing -serve-baseline passed")
+	}
+	if err := gateServe(filepath.Join(dir, "missing.json"), base); err == nil {
+		t.Fatal("unreadable records passed")
+	}
+	write(recs, good)
+	if err := gateServe(recs, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("unreadable baseline passed")
+	}
+}
+
+// TestMainServeGate drives the -serve branch of main in process.
+func TestMainServeGate(t *testing.T) {
+	dir := t.TempDir()
+	recs := filepath.Join(dir, "BENCH_serve.json")
+	base := filepath.Join(dir, "serve_baseline.json")
+	if err := os.WriteFile(recs, []byte(`[{"name":"publish_full","p50_us":700},{"name":"publish_delta","p50_us":150}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, []byte(`{"min_onehop_qps":1,"max_delta_publish_frac":0.25}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clitest.RunMain(t, main, "benchjson", "-serve", recs, "-serve-baseline", base)
 }

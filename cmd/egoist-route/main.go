@@ -35,6 +35,8 @@ import (
 	"syscall"
 	"time"
 
+	"egoist/internal/churn"
+	"egoist/internal/experiments"
 	"egoist/internal/plane"
 	"egoist/internal/sampling"
 	"egoist/internal/sim"
@@ -52,26 +54,10 @@ type wiringFile struct {
 	Wiring [][]int `json:"wiring"`
 }
 
-// ServeRecord is one load-generator measurement — the BENCH_serve.json
-// schema.
-type ServeRecord struct {
-	Name    string  `json:"name"` // serve_onehop | serve_route
-	N       int     `json:"n"`
-	K       int     `json:"k"`
-	Epoch   int64   `json:"epoch"`
-	Clients int     `json:"clients"`
-	Seconds float64 `json:"seconds"`
-	Lookups int64   `json:"lookups"`
-	QPS     float64 `json:"qps"`
-	P50us   float64 `json:"p50_us"`
-	P90us   float64 `json:"p90_us"`
-	P99us   float64 `json:"p99_us"`
-}
-
-// baselineFile is the CI gate schema (ci/serve_baseline.json).
-type baselineFile struct {
-	MinOneHopQPS float64 `json:"min_onehop_qps"`
-}
+// ServeRecord is one load-generator or publish-bench measurement —
+// the BENCH_serve.json schema, shared with cmd/benchjson via
+// internal/experiments.
+type ServeRecord = experiments.ServeRecord
 
 func main() {
 	var (
@@ -91,6 +77,7 @@ func main() {
 		benchOut = flag.String("bench-json", "", "write BENCH_serve.json records to this path")
 		baseline = flag.String("baseline", "", "gate against this serve-baseline file (fails below min_onehop_qps)")
 		cacheRow = flag.Int("cache-rows", 256, "shortest-path row cache size (rows)")
+		pubBench = flag.Int("publish-bench", 0, "run the publication-cost bench over this many churned epochs (0 = off): times every sub-round publication both as a delta Patch and as a full Compile and emits publish_delta/publish_full records")
 	)
 	flag.Parse()
 
@@ -132,27 +119,32 @@ func main() {
 		fmt.Printf("wrote %s\n", *saveW)
 	}
 
-	if *bench {
+	if *bench || *pubBench > 0 {
 		var recs []ServeRecord
-		for _, mode := range strings.Split(*modes, ",") {
-			mode = strings.TrimSpace(mode)
-			if mode == "" {
-				continue
+		if *bench {
+			for _, mode := range strings.Split(*modes, ",") {
+				mode = strings.TrimSpace(mode)
+				if mode == "" {
+					continue
+				}
+				rec, err := runBench(srv, snap, kUsed, mode, *clients, *benchDur, seedUsed)
+				if err != nil {
+					fatal(err)
+				}
+				recs = append(recs, rec)
+				fmt.Printf("bench %-12s clients=%-3d lookups=%-10d qps=%-11.0f p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
+					rec.Name, rec.Clients, rec.Lookups, rec.QPS, rec.P50us, rec.P90us, rec.P99us)
 			}
-			rec, err := runBench(srv, snap, kUsed, mode, *clients, *benchDur, seedUsed)
+		}
+		if *pubBench > 0 {
+			pubRecs, err := runPublishBench(*n, *k, *sample, seedUsed, *workers, *pubBench, *cacheRow)
 			if err != nil {
 				fatal(err)
 			}
-			recs = append(recs, rec)
-			fmt.Printf("bench %-12s clients=%-3d lookups=%-10d qps=%-11.0f p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
-				rec.Name, rec.Clients, rec.Lookups, rec.QPS, rec.P50us, rec.P90us, rec.P99us)
+			recs = append(recs, pubRecs...)
 		}
 		if *benchOut != "" {
-			data, err := json.MarshalIndent(recs, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			if err := experiments.WriteServeJSON(*benchOut, recs); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s (%d records)\n", *benchOut, len(recs))
@@ -417,13 +409,9 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 // gate enforces the serve baseline: the one-hop record must meet the
 // committed minimum throughput.
 func gate(recs []ServeRecord, path string) error {
-	data, err := os.ReadFile(path)
+	bl, err := experiments.ReadServeBaseline(path)
 	if err != nil {
 		return err
-	}
-	var bl baselineFile
-	if err := json.Unmarshal(data, &bl); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
 	}
 	if bl.MinOneHopQPS <= 0 {
 		return fmt.Errorf("%s: no min_onehop_qps", path)
@@ -444,4 +432,122 @@ func gate(recs []ServeRecord, path string) error {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "egoist-route: %v\n", err)
 	os.Exit(1)
+}
+
+// runPublishBench measures sub-epoch publication cost under churn: a
+// fresh scale run (same n/k/sampling defaults as the serve run) plays
+// the given number of epochs over an exponential background churn
+// process, and every sub-round publication is executed both ways — a
+// full from-scratch Compile and a delta Patch of the previous snapshot
+// — so BENCH_serve.json carries the two cost columns measured on the
+// identical publication stream. The two timings alternate order across
+// publications to cancel allocator warm-up bias, and one route row is
+// kept warm so the Patch timing includes its real carry/invalidate
+// work, not just the CSR splice.
+func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, cacheRows int) ([]ServeRecord, error) {
+	if k <= 0 {
+		k = 8
+		if n < 1000 {
+			k = 4
+		}
+	}
+	if sampleSpec == "" {
+		m := n / 20
+		if m < k+2 {
+			m = k + 2
+		}
+		if m > 500 {
+			m = 500
+		}
+		sampleSpec = fmt.Sprintf("demand:%d", m)
+	}
+	spec, err := sampling.ParseSpec(sampleSpec)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := underlay.NewLite(n, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := churn.GenerateSynthetic(churn.SyntheticConfig{
+		N: n, Horizon: float64(epochs),
+		On:   churn.Exponential{Mean: 60},
+		Off:  churn.Exponential{Mean: 12},
+		Seed: seed + 101, StartOn: 0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		prev            *plane.Snapshot
+		seq             int64
+		deltaHist       latHist
+		fullHist        latHist
+		deltaNs, fullNs int64
+		changedRows     int64
+	)
+	opts := plane.Options{RouteCacheRows: cacheRows}
+	cfg := sim.ScaleConfig{
+		N: n, K: k, Seed: seed, Sample: spec,
+		MaxEpochs: epochs, Workers: workers, Net: oracle,
+		Churn: sched, ConvergedFrac: -1,
+		OnPublish: func(pub sim.Publication) {
+			if pub.Full {
+				prev = plane.Compile(seq, pub.Wiring, pub.Active, oracle, opts)
+				seq++
+				return
+			}
+			var next, full *plane.Snapshot
+			timeFull := func() {
+				t := time.Now()
+				full = plane.Compile(seq, pub.Wiring, pub.Active, oracle, opts)
+				fullNs += time.Since(t).Nanoseconds()
+				fullHist.add(time.Since(t).Nanoseconds())
+			}
+			timeDelta := func() {
+				t := time.Now()
+				next = prev.Patch(seq, pub.Changed, pub.Wiring, pub.Active)
+				deltaNs += time.Since(t).Nanoseconds()
+				deltaHist.add(time.Since(t).Nanoseconds())
+			}
+			if seq%2 == 0 {
+				timeFull()
+				timeDelta()
+			} else {
+				timeDelta()
+				timeFull()
+			}
+			_ = full
+			prev = next
+			seq++
+			changedRows += int64(len(pub.Changed))
+			prev.RouteCost(int(seq)%n, (int(seq)+1)%n)
+		},
+	}
+	fmt.Printf("publish bench: n=%d k=%d sample=%s epochs=%d churn=exp(60,12)\n", n, k, sampleSpec, epochs)
+	if _, err := sim.RunScale(cfg); err != nil {
+		return nil, err
+	}
+	if fullHist.count == 0 {
+		return nil, fmt.Errorf("publish bench ran no publications")
+	}
+	mk := func(name string, h *latHist, totalNs int64) ServeRecord {
+		secs := float64(totalNs) / 1e9
+		return ServeRecord{
+			Name: name, N: n, K: k, Epoch: int64(epochs), Clients: 1,
+			Seconds: secs, Lookups: h.count, QPS: float64(h.count) / secs,
+			P50us: h.quantile(0.50), P90us: h.quantile(0.90), P99us: h.quantile(0.99),
+		}
+	}
+	recs := []ServeRecord{
+		mk("publish_full", &fullHist, fullNs),
+		mk("publish_delta", &deltaHist, deltaNs),
+	}
+	for _, rec := range recs {
+		fmt.Printf("bench %-13s publications=%-6d p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
+			rec.Name, rec.Lookups, rec.P50us, rec.P90us, rec.P99us)
+	}
+	fmt.Printf("publish bench: delta p50 is %.1f%% of full-recompile p50 (%.1f changed rows/publication)\n",
+		100*recs[1].P50us/recs[0].P50us, float64(changedRows)/float64(fullHist.count))
+	return recs, nil
 }

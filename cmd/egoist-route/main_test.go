@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"egoist/internal/clitest"
+	"egoist/internal/experiments"
 )
 
 // TestMainInProcess drives the converge→bench→save path in process for
@@ -19,6 +20,112 @@ func TestMainInProcess(t *testing.T) {
 		"-n", "120", "-workers", "2", "-bench", "-bench-duration", "100ms",
 		"-bench-json", filepath.Join(dir, "BENCH_serve.json"),
 		"-save-wiring", filepath.Join(dir, "wiring.json"))
+}
+
+// TestMainPublishBench drives the -publish-bench path in process: the
+// artifact must carry the publish_full/publish_delta pair measured on
+// the same publication stream, alongside the lookup record, and the
+// lenient throughput baseline must pass.
+func TestMainPublishBench(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_serve.json")
+	lenient := filepath.Join(dir, "lenient.json")
+	if err := os.WriteFile(lenient, []byte(`{"min_onehop_qps": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clitest.RunMain(t, main, "egoist-route",
+		"-n", "120", "-workers", "2", "-bench", "-bench-duration", "50ms",
+		"-modes", "onehop", "-publish-bench", "1",
+		"-bench-json", jsonPath, "-baseline", lenient)
+	recs, err := experiments.ReadServeJSON(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]experiments.ServeRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	for _, want := range []string{"serve_onehop", "publish_full", "publish_delta"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("artifact missing %s record: %+v", want, recs)
+		}
+	}
+	full, delta := byName["publish_full"], byName["publish_delta"]
+	if full.Lookups <= 0 || full.Lookups != delta.Lookups {
+		t.Fatalf("publication counts diverge: full %d vs delta %d (must be the same stream)",
+			full.Lookups, delta.Lookups)
+	}
+	if full.P50us <= 0 || delta.P50us <= 0 {
+		t.Fatalf("degenerate publish quantiles: full %+v delta %+v", full, delta)
+	}
+}
+
+// TestGateOutcomes covers the serve baseline gate's verdicts directly
+// (the failing ones call os.Exit through main, so they can't run via
+// RunMain).
+func TestGateOutcomes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(base, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	onehop := []ServeRecord{{Name: "serve_onehop", QPS: 500}}
+	write(`{"min_onehop_qps": 100}`)
+	if err := gate(onehop, base); err != nil {
+		t.Fatalf("met floor failed: %v", err)
+	}
+	write(`{"min_onehop_qps": 1000}`)
+	if err := gate(onehop, base); err == nil {
+		t.Fatal("missed floor passed")
+	}
+	write(`{}`)
+	if err := gate(onehop, base); err == nil {
+		t.Fatal("floorless baseline passed (no-op gate)")
+	}
+	write(`{"min_onehop_qps": 100}`)
+	if err := gate([]ServeRecord{{Name: "publish_full", P50us: 1}}, base); err == nil {
+		t.Fatal("gate passed without a serve_onehop record")
+	}
+	if err := gate(onehop, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("unreadable baseline passed")
+	}
+}
+
+// TestLoadWiringValidation covers the loader in process: a saved file
+// round-trips, and each malformed shape is rejected with an error.
+func TestLoadWiringValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	wf := &wiringFile{N: 3, K: 1, Seed: 5, Epoch: 2, Wiring: [][]int{{1}, {2}, {0}}}
+	if err := saveWiring(path, wf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadWiring(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || got.K != 1 || got.Seed != 5 || got.Epoch != 2 || len(got.Wiring) != 3 {
+		t.Fatalf("round trip mangled the file: %+v", got)
+	}
+	if _, err := loadWiring(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	for name, body := range map[string]string{
+		"not-json":     "nope",
+		"short":        `{"n": 5, "k": 2, "wiring": [[1],[2]]}`,
+		"out-of-range": `{"n": 3, "k": 1, "wiring": [[1],[9],[0]]}`,
+	} {
+		bad := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(bad, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadWiring(bad); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
 }
 
 // TestSmokeBenchArtifact converges a small overlay, runs the load

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ServeRecord is one data-plane measurement — the BENCH_serve.json
+// schema shared by cmd/egoist-route (which writes it) and
+// cmd/benchjson (which gates on it). Two record families use it:
+//
+//   - serve_onehop / serve_route: load-generator lookup measurements;
+//     Lookups counts queries and the quantiles are per-lookup latency.
+//   - publish_full / publish_delta: snapshot publication cost under
+//     churn; Lookups counts publications and the quantiles are
+//     per-publication cost — a full from-scratch Compile vs the
+//     delta Patch of the same wiring change, measured on the same
+//     publication stream.
+type ServeRecord struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	K       int     `json:"k"`
+	Epoch   int64   `json:"epoch"`
+	Clients int     `json:"clients"`
+	Seconds float64 `json:"seconds"`
+	Lookups int64   `json:"lookups"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P90us   float64 `json:"p90_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// ServeBaseline is the CI gate schema (ci/serve_baseline.json).
+type ServeBaseline struct {
+	// MinOneHopQPS fails the serve bench when single-client one-hop
+	// throughput drops below it.
+	MinOneHopQPS float64 `json:"min_onehop_qps"`
+	// MaxDeltaPublishFrac fails the publish bench when the delta
+	// publication's p50 cost exceeds this fraction of the full
+	// recompile's p50 on the same publication stream (0 = unchecked).
+	MaxDeltaPublishFrac float64 `json:"max_delta_publish_frac,omitempty"`
+}
+
+// ReadServeJSON reads a BENCH_serve.json file.
+func ReadServeJSON(path string) ([]ServeRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []ServeRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// WriteServeJSON writes records to path as indented JSON, in the order
+// given (the writer's measurement order is meaningful).
+func WriteServeJSON(path string, recs []ServeRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadServeBaseline reads a ci/serve_baseline.json file.
+func ReadServeBaseline(path string) (*ServeBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl ServeBaseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bl, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServeJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	recs := []ServeRecord{
+		{Name: "publish_full", N: 100, K: 4, Epoch: 2, Clients: 1,
+			Seconds: 1.5, Lookups: 10, QPS: 6.7, P50us: 700, P90us: 900, P99us: 1100},
+		{Name: "publish_delta", N: 100, K: 4, Epoch: 2, Clients: 1,
+			Seconds: 0.2, Lookups: 10, QPS: 50, P50us: 150, P90us: 200, P99us: 400},
+	}
+	if err := WriteServeJSON(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServeJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("round trip mangled records: %+v", got)
+	}
+	if _, err := ReadServeJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadServeJSON(bad); err == nil {
+		t.Fatal("non-JSON artifact accepted")
+	}
+}
+
+func TestReadServeBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	body := `{"min_onehop_qps": 100000, "max_delta_publish_frac": 0.25}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadServeBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.MinOneHopQPS != 100000 || bl.MaxDeltaPublishFrac != 0.25 {
+		t.Fatalf("baseline misread: %+v", bl)
+	}
+	if _, err := ReadServeBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline read succeeded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("["), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadServeBaseline(bad); err == nil {
+		t.Fatal("truncated baseline accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+// Affected-row detection for incremental snapshot publication: given a
+// settled single-source shortest-path row and a sparse set of out-row
+// replacements, decide which rows the edits can actually change. It is
+// the read-only counterpart of SPForest's subtree repair — the same
+// "did a tree arc get cut, did a new arc undercut a label" test that
+// repairAfterRemove uses to skip untouched trees, applied to arbitrary
+// row replacements instead of a single removal.
+//
+// The guarantee is exact, not approximate: if RowCrossed reports false
+// for a row against every edit, a from-scratch Dijkstra over the edited
+// graph produces bit-identical distances. Both directions of change are
+// ruled out — the old tree survives arc-for-arc with identical weights
+// (so no label can get worse), and no surviving label admits a strict
+// relaxation through an edited row (so none can get better); additive
+// path costs fold left-to-right identically in both computations.
+// Parent arrays are NOT pinned: an equal-cost tie may resolve to a
+// different predecessor in a fresh computation, so carried rows promise
+// identical costs, not identical paths.
+
+// RowCrossed reports whether replacing node u's out-arcs — (oldTo,
+// oldW) became (newTo, newW) — can change the shortest-path row (dist,
+// parent) of some source. The test is conservative only in the cheap
+// direction: it may report true for an edit that happens to leave the
+// row intact, but a false is a proof that every distance is unchanged.
+// The algebra is additive shortest paths (DijkstraCSR, the data
+// plane's); widest-path rows need the inverted comparisons.
+func RowCrossed(dist []float64, parent []int32, u int, oldTo []int32, oldW []float64, newTo []int32, newW []float64) bool {
+	// A removed or re-weighted tree arc: u fed v's label through an arc
+	// the new row no longer carries at the same weight.
+	for x, v := range oldTo {
+		if parent[v] == int32(u) && !rowHasArc(newTo, newW, v, oldW[x]) {
+			return true
+		}
+	}
+	// A new (or cheapened) arc that strictly undercuts a settled label.
+	// An unreachable u (dist +Inf) can never undercut anything: the sum
+	// stays +Inf and the comparison below stays false.
+	du := dist[u]
+	for x, v := range newTo {
+		if rowHasArc(oldTo, oldW, v, newW[x]) {
+			continue
+		}
+		if du+newW[x] < dist[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// rowHasArc reports whether the parallel-slice arc row contains an arc
+// to v with exactly weight w (float bit semantics: == comparison).
+func rowHasArc(to []int32, w []float64, v int32, wt float64) bool {
+	for i, t := range to {
+		if t == v && w[i] == wt {
+			return true
+		}
+	}
+	return false
+}
+
+// arcsHaveArc is rowHasArc over an []Arc row.
+func arcsHaveArc(arcs []Arc, v int, wt float64) bool {
+	for _, a := range arcs {
+		if a.To == v && a.W == wt {
+			return true
+		}
+	}
+	return false
+}
+
+// rowCrossedArcs is RowCrossed with both rows in []Arc form (the
+// SPForest / RowEdit layout).
+func rowCrossedArcs(dist []float64, parent []int32, u int, oldArcs, newArcs []Arc) bool {
+	for _, a := range oldArcs {
+		if parent[a.To] == int32(u) && !arcsHaveArc(newArcs, a.To, a.W) {
+			return true
+		}
+	}
+	du := dist[u]
+	for _, a := range newArcs {
+		if arcsHaveArc(oldArcs, a.To, a.W) {
+			continue
+		}
+		if du+a.W < dist[a.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedSources appends to out (and returns) the ascending list of
+// sources whose maintained shortest-path rows the given out-row
+// replacements can cross — the sources a publisher must recompute when
+// patching a snapshot incrementally; every other row is guaranteed
+// bit-identical after the edits. The edits describe complete
+// replacements of each node's out-row, exactly like DynamicRows.Apply;
+// the forest's own graph and matrices are not modified. Additive
+// algebra only (the forest must have been Reset with widest=false).
+func (f *SPForest) AffectedSources(edits []RowEdit, out []int) []int {
+	if f.widest {
+		panic("graph: AffectedSources on a widest-path forest")
+	}
+	if f.removedFrom >= 0 {
+		panic("graph: AffectedSources with a removal outstanding")
+	}
+	for src := 0; src < f.n; src++ {
+		for _, e := range edits {
+			if rowCrossedArcs(f.dist[src], f.parent[src], e.Node, f.g.Out(e.Node), e.NewOut) {
+				out = append(out, src)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomEdits draws a batch of out-row replacements: each picks a node
+// and rewrites its row to a fresh random arc set (possibly empty — a
+// departure clearing its out-links).
+func randomEdits(rng *rand.Rand, n, batch int) []RowEdit {
+	edits := make([]RowEdit, 0, batch)
+	seen := make(map[int]bool)
+	for len(edits) < batch {
+		u := rng.Intn(n)
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		var arcs []Arc
+		for t := rng.Intn(4); t > 0; t-- {
+			v := rng.Intn(n)
+			if v != u && !arcsHaveTarget(arcs, v) {
+				arcs = append(arcs, Arc{To: v, W: 0.5 + rng.Float64()*20})
+			}
+		}
+		edits = append(edits, RowEdit{Node: u, NewOut: arcs})
+	}
+	return edits
+}
+
+func arcsHaveTarget(arcs []Arc, v int) bool {
+	for _, a := range arcs {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// applyEditsTo returns a clone of g with the row replacements applied.
+func applyEditsTo(g *Digraph, edits []RowEdit) *Digraph {
+	r := g.Clone()
+	for _, e := range edits {
+		r.ClearOut(e.Node)
+		for _, a := range e.NewOut {
+			r.AddArc(e.Node, a.To, a.W)
+		}
+	}
+	return r
+}
+
+// TestAffectedSourcesVsBruteForce is the property the delta publisher
+// stands on: every source NOT reported by AffectedSources must have a
+// bit-identical distance row in a from-scratch recompute of the edited
+// graph. (Reported sources may or may not actually change — the test
+// additionally counts that the report is not trivially "everyone", so
+// the skip fast-path is exercised.)
+func TestAffectedSourcesVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := NewSPForest()
+	skipped, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(40)
+		g := randomDigraphInc(rng, n, 1+rng.Intn(3))
+		f.Reset(g, false)
+		edits := randomEdits(rng, n, 1+rng.Intn(3))
+		affected := f.AffectedSources(edits, nil)
+		isAffected := make([]bool, n)
+		for _, src := range affected {
+			isAffected[src] = true
+		}
+		truth := APSP(applyEditsTo(g, edits))
+		for src := 0; src < n; src++ {
+			total++
+			if isAffected[src] {
+				continue
+			}
+			skipped++
+			for dst := 0; dst < n; dst++ {
+				if f.Dist()[src][dst] != truth[src][dst] {
+					t.Fatalf("trial %d: source %d not reported affected but dist[%d][%d] changed: %v -> %v (edits %v)",
+						trial, src, src, dst, f.Dist()[src][dst], truth[src][dst], edits)
+				}
+			}
+		}
+		// The report must be ascending without duplicates — publishers
+		// feed it straight into sorted-set logic.
+		for i := 1; i < len(affected); i++ {
+			if affected[i] <= affected[i-1] {
+				t.Fatalf("trial %d: affected list not strictly ascending: %v", trial, affected)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatalf("no source was ever skipped across %d rows — the fast path never ran", total)
+	}
+}
+
+// TestAffectedSourcesIdentityEdit: replacing a row with itself crosses
+// nothing — the "marked but unchanged" case the engines produce when a
+// node re-adopts its current wiring.
+func TestAffectedSourcesIdentityEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomDigraphInc(rng, 30, 3)
+	f := NewSPForest()
+	f.Reset(g, false)
+	for u := 0; u < g.N(); u++ {
+		edit := RowEdit{Node: u, NewOut: append([]Arc(nil), g.Out(u)...)}
+		if got := f.AffectedSources([]RowEdit{edit}, nil); len(got) != 0 {
+			t.Fatalf("identity edit of node %d reported affected sources %v", u, got)
+		}
+	}
+}
+
+// TestRowCrossedParallelForm pins the CSR-layout predicate against the
+// []Arc-layout one on random rows — the data plane uses the former, the
+// forest the latter, and they must agree arc-for-arc.
+func TestRowCrossedParallelForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rng.Intn(20)
+		g := randomDigraphInc(rng, n, 2)
+		f := NewSPForest()
+		f.Reset(g, false)
+		u := rng.Intn(n)
+		edit := randomEdits(rng, n, 1)[0]
+		edit.Node = u
+		oldArcs := g.Out(u)
+		oldTo := make([]int32, len(oldArcs))
+		oldW := make([]float64, len(oldArcs))
+		for i, a := range oldArcs {
+			oldTo[i] = int32(a.To)
+			oldW[i] = a.W
+		}
+		newTo := make([]int32, len(edit.NewOut))
+		newW := make([]float64, len(edit.NewOut))
+		for i, a := range edit.NewOut {
+			newTo[i] = int32(a.To)
+			newW[i] = a.W
+		}
+		for src := 0; src < n; src++ {
+			dist, parent := f.dist[src], f.parent[src]
+			want := rowCrossedArcs(dist, parent, u, oldArcs, edit.NewOut)
+			got := RowCrossed(dist, parent, u, oldTo, oldW, newTo, newW)
+			if got != want {
+				t.Fatalf("trial %d src %d: RowCrossed=%v, rowCrossedArcs=%v", trial, src, got, want)
+			}
+		}
+	}
+}
+
+// TestPatchCSR: patching must be byte-identical to packing the edited
+// adjacency from scratch, and must leave the base untouched.
+func TestPatchCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(30)
+		g := randomDigraphInc(rng, n, 1+rng.Intn(3))
+		base := NewCSR(n, func(u int) []Arc { return g.Out(u) })
+		baseCopy := NewCSR(n, func(u int) []Arc { return g.Out(u) })
+		edits := randomEdits(rng, n, 1+rng.Intn(4))
+		edited := applyEditsTo(g, edits)
+		changed := make([]int, len(edits))
+		rows := make(map[int][]Arc, len(edits))
+		for i, e := range edits {
+			changed[i] = e.Node
+			rows[e.Node] = e.NewOut
+		}
+		sortInts(changed)
+		patched := PatchCSR(base, changed, func(u int) []Arc { return rows[u] })
+		want := NewCSR(n, func(u int) []Arc { return edited.Out(u) })
+		checkSameCSR(t, "patched vs rebuilt", patched, want)
+		checkSameCSR(t, "base mutated by patch", base, baseCopy)
+	}
+	// Empty changed list: a pure copy.
+	g := randomDigraphInc(rand.New(rand.NewSource(11)), 12, 2)
+	base := NewCSR(12, func(u int) []Arc { return g.Out(u) })
+	checkSameCSR(t, "empty patch", PatchCSR(base, nil, nil), base)
+}
+
+func TestPatchCSRRejectsUnsorted(t *testing.T) {
+	base := NewCSR(4, func(u int) []Arc { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending changed list accepted")
+		}
+	}()
+	PatchCSR(base, []int{2, 1}, func(u int) []Arc { return nil })
+}
+
+func checkSameCSR(t *testing.T, what string, got, want *CSR) {
+	t.Helper()
+	if got.N() != want.N() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("%s: shape (%d nodes, %d arcs) vs (%d, %d)", what, got.N(), got.NumArcs(), want.N(), want.NumArcs())
+	}
+	for u := 0; u < got.N(); u++ {
+		gt, gw := got.Out(u)
+		wt, ww := want.Out(u)
+		if len(gt) != len(wt) {
+			t.Fatalf("%s: node %d degree %d vs %d", what, u, len(gt), len(wt))
+		}
+		for x := range gt {
+			if gt[x] != wt[x] || gw[x] != ww[x] {
+				t.Fatalf("%s: node %d arc %d: (%d, %v) vs (%d, %v)", what, u, x, gt[x], gw[x], wt[x], ww[x])
+			}
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

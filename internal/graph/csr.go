@@ -31,6 +31,45 @@ func NewCSR(n int, adj func(u int) []Arc) *CSR {
 	return c
 }
 
+// PatchCSR packs a new CSR from base by replacing the out-rows of a
+// sparse ascending set of nodes: adj is called exactly once per changed
+// node (in id order, arcs copied — same contract as NewCSR) and every
+// other row is copied byte-for-byte from base, so an unchanged row's
+// arc order and weight bits are preserved by construction. base is not
+// modified; the two graphs share no storage. It is the data plane's
+// delta-publication path: a churn sub-round touches a handful of rows,
+// and re-pricing only those avoids the O(n·k) delay-oracle sweep of a
+// full recompile.
+func PatchCSR(base *CSR, changed []int, adj func(u int) []Arc) *CSR {
+	c := &CSR{
+		n:   base.n,
+		off: make([]int32, base.n+1),
+		to:  make([]int32, 0, len(base.to)),
+		w:   make([]float64, 0, len(base.w)),
+	}
+	ci := 0
+	for u := 0; u < base.n; u++ {
+		if ci < len(changed) && changed[ci] == u {
+			for ci < len(changed) && changed[ci] == u {
+				ci++ // tolerate duplicates
+			}
+			for _, a := range adj(u) {
+				c.to = append(c.to, int32(a.To))
+				c.w = append(c.w, a.W)
+			}
+		} else {
+			lo, hi := base.off[u], base.off[u+1]
+			c.to = append(c.to, base.to[lo:hi]...)
+			c.w = append(c.w, base.w[lo:hi]...)
+		}
+		c.off[u+1] = int32(len(c.to))
+	}
+	if ci != len(changed) {
+		panic("graph: PatchCSR changed list not ascending in [0, n)")
+	}
+	return c
+}
+
 // N returns the number of nodes.
 func (c *CSR) N() int { return c.n }
 

@@ -131,6 +131,46 @@ func (c *rowCache) moveFront(e *rowEntry) {
 	c.pushFront(e)
 }
 
+// carriedDone is the shared already-closed ready channel of carried
+// rows: a seeded entry is final from the moment it is inserted.
+var carriedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// carryInto seeds dst with every computed row of c that keep approves —
+// the delta publisher's carry-over path. Rows are shared, not copied
+// (they are immutable once their ready channel closes), and LRU order
+// is preserved: the iteration walks least-recent first so the
+// most-recent row ends up at dst's head. In-flight rows are skipped;
+// whoever wants them from the new snapshot recomputes on demand.
+func (c *rowCache) carryInto(dst *rowCache, keep func(src int, dist []float64, parent []int32) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.tail; e != nil; e = e.prev {
+		select {
+		case <-e.done:
+		default:
+			continue
+		}
+		if keep(e.src, e.dist, e.parent) {
+			dst.seed(e.src, e.dist, e.parent)
+		}
+	}
+}
+
+// seed inserts an already-final row with shared storage.
+func (c *rowCache) seed(src int, dist []float64, parent []int32) {
+	c.mu.Lock()
+	e := &rowEntry{src: src, done: carriedDone, dist: dist, parent: parent}
+	c.entries[src] = e
+	c.pushFront(e)
+	c.ready++
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
 // size reports the current entry count (tests).
 func (c *rowCache) size() int {
 	c.mu.Lock()

@@ -1,0 +1,309 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mutableWiring is a small churnable overlay for the patch tests: a
+// random k-wiring with helpers applying the engine invariant (a leave
+// rewrites every in-neighbor immediately, so no row ever references a
+// departed node).
+type mutableWiring struct {
+	wiring [][]int
+	active []bool
+}
+
+func newMutableWiring(rng *rand.Rand, n, k int) *mutableWiring {
+	m := &mutableWiring{wiring: make([][]int, n), active: make([]bool, n)}
+	for u := range m.active {
+		m.active[u] = true
+	}
+	for u := 0; u < n; u++ {
+		m.wiring[u] = m.randomRow(rng, u, k)
+	}
+	return m
+}
+
+func (m *mutableWiring) randomRow(rng *rand.Rand, u, k int) []int {
+	var row []int
+	for len(row) < k {
+		v := rng.Intn(len(m.active))
+		if v == u || !m.active[v] || containsInt(row, v) {
+			continue
+		}
+		row = append(row, v)
+	}
+	return row
+}
+
+// churn applies one random membership or re-wiring step and returns the
+// ascending changed set a Publication would carry.
+func (m *mutableWiring) churn(rng *rand.Rand, k int) []int {
+	changed := map[int]bool{}
+	switch rng.Intn(3) {
+	case 0: // re-wire a live node
+		u := m.randomLive(rng)
+		if u >= 0 {
+			m.wiring[u] = m.randomRow(rng, u, k)
+			changed[u] = true
+		}
+	case 1: // leave: orphan every in-neighbor immediately
+		v := m.randomLive(rng)
+		if v < 0 || m.liveCount() <= k+2 {
+			break
+		}
+		m.active[v] = false
+		m.wiring[v] = nil
+		changed[v] = true
+		for u := range m.wiring {
+			for x, tgt := range m.wiring[u] {
+				if tgt == v {
+					m.wiring[u] = append(m.wiring[u][:x], m.wiring[u][x+1:]...)
+					changed[u] = true
+					break
+				}
+			}
+		}
+	case 2: // join with a bootstrap row
+		v := -1
+		for w, on := range m.active {
+			if !on {
+				v = w
+				break
+			}
+		}
+		if v < 0 {
+			break
+		}
+		m.active[v] = true
+		m.wiring[v] = m.randomRow(rng, v, k)
+		changed[v] = true
+	}
+	out := make([]int, 0, len(changed))
+	for u := range changed {
+		out = append(out, u)
+	}
+	sortChanged(out)
+	return out
+}
+
+func (m *mutableWiring) randomLive(rng *rand.Rand) int {
+	for tries := 0; tries < 64; tries++ {
+		u := rng.Intn(len(m.active))
+		if m.active[u] {
+			return u
+		}
+	}
+	return -1
+}
+
+func (m *mutableWiring) liveCount() int {
+	n := 0
+	for _, on := range m.active {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortChanged(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// checkSnapshotsMatch byte-compares the two snapshots' full query
+// surfaces: liveness, adjacency (order and weight bits), every
+// RouteCost row, and the OneHop decisions of a seeded panel.
+func checkSnapshotsMatch(t *testing.T, step int, got, want *Snapshot) {
+	t.Helper()
+	if got.N() != want.N() || got.NumLive() != want.NumLive() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("step %d: shape (%d, %d live, %d arcs) vs (%d, %d, %d)",
+			step, got.N(), got.NumLive(), got.NumArcs(), want.N(), want.NumLive(), want.NumArcs())
+	}
+	n := got.N()
+	for u := 0; u < n; u++ {
+		if got.Live(u) != want.Live(u) {
+			t.Fatalf("step %d: live[%d] %v vs %v", step, u, got.Live(u), want.Live(u))
+		}
+		gn, wn := got.Neighbors(u), want.Neighbors(u)
+		if len(gn) != len(wn) {
+			t.Fatalf("step %d: node %d degree %d vs %d", step, u, len(gn), len(wn))
+		}
+		for x := range gn {
+			if gn[x] != wn[x] {
+				t.Fatalf("step %d: node %d arc %d: %d vs %d", step, u, x, gn[x], wn[x])
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(step)*37 + 5))
+	for q := 0; q < 24; q++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if gc, wc := got.RouteCost(src, dst), want.RouteCost(src, dst); gc != wc {
+			t.Fatalf("step %d: RouteCost(%d,%d) %v vs %v", step, src, dst, gc, wc)
+		}
+		gd, wd := got.OneHop(src, dst), want.OneHop(src, dst)
+		if gd != wd {
+			t.Fatalf("step %d: OneHop(%d,%d) %+v vs %+v", step, src, dst, gd, wd)
+		}
+	}
+}
+
+// TestPatchMatchesCompile drives a long random churn/re-wiring sequence
+// through a chain of Patch calls and byte-compares every link of the
+// chain against a from-scratch Compile of the same wiring — the delta
+// publication correctness contract. Queries between steps keep the row
+// cache warm so the carry-over path is exercised for real.
+func TestPatchMatchesCompile(t *testing.T) {
+	const n, k = 80, 3
+	net := testNet(t, n)
+	rng := rand.New(rand.NewSource(42))
+	m := newMutableWiring(rng, n, k)
+	patched := Compile(-1, m.wiring, m.active, net, Options{})
+	for step := 0; step < 60; step++ {
+		// Warm some rows on the current snapshot so carry-over has
+		// something to carry (and to invalidate).
+		for q := 0; q < 12; q++ {
+			patched.RouteCost(rng.Intn(n), rng.Intn(n))
+		}
+		changed := m.churn(rng, k)
+		patched = patched.Patch(int64(step), changed, m.wiring, m.active)
+		fresh := Compile(int64(step), m.wiring, m.active, net, Options{})
+		checkSnapshotsMatch(t, step, patched, fresh)
+		if patched.Epoch() != int64(step) {
+			t.Fatalf("step %d: epoch %d", step, patched.Epoch())
+		}
+	}
+}
+
+// TestPatchCarriesUncrossedRows pins the cache economics: rows whose
+// subtrees no changed arc crossed survive the patch by reference (no
+// recompute), and the changed node's own row is dropped.
+func TestPatchCarriesUncrossedRows(t *testing.T) {
+	const n, k = 60, 3
+	net := testNet(t, n)
+	rng := rand.New(rand.NewSource(7))
+	m := newMutableWiring(rng, n, k)
+	base := Compile(0, m.wiring, m.active, net, Options{})
+	for src := 0; src < n; src++ {
+		base.rows.get(src)
+	}
+	// Re-wire one node and patch.
+	u := 17
+	m.wiring[u] = m.randomRow(rng, u, k)
+	next := base.Patch(1, []int{u}, m.wiring, m.active)
+	carried := next.rows.size()
+	if carried == 0 {
+		t.Fatal("no rows carried over a single-row patch")
+	}
+	if carried >= n {
+		t.Fatalf("all %d rows carried across a re-wiring of node %d — the changed row must drop", carried, u)
+	}
+	next.rows.mu.Lock()
+	if _, ok := next.rows.entries[u]; ok {
+		next.rows.mu.Unlock()
+		t.Fatalf("changed node %d's row survived the patch", u)
+	}
+	// Carried rows must share storage with the base rows (carry is a
+	// reference, not a copy).
+	shared := 0
+	for src, e := range next.rows.entries {
+		be, ok := base.rows.entries[src]
+		if !ok {
+			continue
+		}
+		if &e.dist[0] == &be.dist[0] {
+			shared++
+		}
+	}
+	next.rows.mu.Unlock()
+	if shared == 0 {
+		t.Fatal("carried rows were copied, not shared")
+	}
+}
+
+// TestPatchEmptyChangedSharesEverything: the no-op publication (a
+// sub-round where nothing moved) must not copy the CSR or drop a single
+// cached row.
+func TestPatchEmptyChangedSharesEverything(t *testing.T) {
+	const n = 40
+	net := testNet(t, n)
+	rng := rand.New(rand.NewSource(3))
+	m := newMutableWiring(rng, n, 2)
+	base := Compile(0, m.wiring, m.active, net, Options{})
+	base.rows.get(5)
+	next := base.Patch(7, nil, m.wiring, m.active)
+	if next.Epoch() != 7 {
+		t.Fatalf("epoch %d", next.Epoch())
+	}
+	if next.csr != base.csr {
+		t.Fatal("empty patch rebuilt the CSR")
+	}
+	if next.rows != base.rows {
+		t.Fatal("empty patch dropped the shared row cache")
+	}
+	if c := next.RouteCost(5, 9); c != base.RouteCost(5, 9) {
+		t.Fatalf("cost diverged: %v", c)
+	}
+}
+
+// TestPatchNilActive covers Compile's active==nil convention (live =
+// non-nil wiring row) on the patch path.
+func TestPatchNilActive(t *testing.T) {
+	const n = 30
+	net := testNet(t, n)
+	rng := rand.New(rand.NewSource(9))
+	m := newMutableWiring(rng, n, 2)
+	base := Compile(0, m.wiring, nil, net, Options{})
+	// Depart node 4 under the invariant.
+	v := 4
+	changed := map[int]bool{v: true}
+	m.wiring[v] = nil
+	for u := range m.wiring {
+		for x, tgt := range m.wiring[u] {
+			if tgt == v {
+				m.wiring[u] = append(m.wiring[u][:x], m.wiring[u][x+1:]...)
+				changed[u] = true
+				break
+			}
+		}
+	}
+	var list []int
+	for u := range changed {
+		list = append(list, u)
+	}
+	sortChanged(list)
+	patched := base.Patch(1, list, m.wiring, nil)
+	fresh := Compile(1, m.wiring, nil, net, Options{})
+	checkSnapshotsMatch(t, 0, patched, fresh)
+	if patched.Live(v) {
+		t.Fatalf("departed node %d still live", v)
+	}
+}
+
+// TestPatchRejectsOutOfRange: a malformed changed set must fail loudly,
+// not corrupt a published snapshot.
+func TestPatchRejectsOutOfRange(t *testing.T) {
+	net := testNet(t, 10)
+	m := newMutableWiring(rand.New(rand.NewSource(1)), 10, 2)
+	base := Compile(0, m.wiring, m.active, net, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range changed node accepted")
+		}
+	}()
+	base.Patch(1, []int{10}, m.wiring, m.active)
+}

@@ -1,0 +1,34 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDigest pins what the digest covers (liveness mask + weighted CSR
+// rows) and what it deliberately ignores (the epoch tag and the row
+// cache) — the equality the delta equivalence suites trade in.
+func TestDigest(t *testing.T) {
+	const n, k = 50, 3
+	net := testNet(t, n)
+	rng := rand.New(rand.NewSource(11))
+	m := newMutableWiring(rng, n, k)
+	a := Compile(0, m.wiring, m.active, net, Options{})
+	b := Compile(99, m.wiring, m.active, net, Options{})
+	b.RouteCost(1, 2) // warm a cached row on one side only
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest must ignore the epoch tag and row-cache state")
+	}
+	changed := m.churn(rng, k)
+	for len(changed) == 0 {
+		changed = m.churn(rng, k)
+	}
+	c := a.Patch(1, changed, m.wiring, m.active)
+	if c.Digest() == a.Digest() {
+		t.Fatal("digest did not move across a real wiring change")
+	}
+	fresh := Compile(1, m.wiring, m.active, net, Options{})
+	if c.Digest() != fresh.Digest() {
+		t.Fatal("patched digest diverged from a from-scratch Compile")
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"egoist/internal/plane"
+	"egoist/internal/sampling"
+	"egoist/internal/sim"
+	"egoist/internal/underlay"
+)
+
+// This file is the delta-publication correctness suite: for every
+// committed CI scenario spec, a sub-epoch Patch chain driven by the
+// scale engine's OnPublish stream must stay digest-identical to a
+// from-scratch Compile at every single publication, at any (shards,
+// workers) combination — and the publication digest stream itself must
+// be byte-identical across those combinations.
+
+// deltaDigestStream runs one spec on the scale engine with a delta
+// subscriber attached: every publication extends the Patch chain,
+// byte-compares its digest against a fresh Compile of the same wiring,
+// and records it. A couple of routes are warmed per publication so the
+// row-cache carry-over path runs against real churn, not just the
+// synthetic plane tests.
+func deltaDigestStream(t *testing.T, spec Spec, workers, shards int) []string {
+	t.Helper()
+	sampleStr := spec.Sample
+	if sampleStr == "" {
+		t.Fatalf("spec %s: CI specs pin their sampling", spec.Name)
+	}
+	sample, err := sampling.ParseSpec(sampleStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := spec.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine's own default oracle, constructed explicitly (same
+	// constructor, same arguments) so Compile prices arcs identically.
+	net, err := underlay.NewLite(spec.N, spec.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []string
+	var cur *plane.Snapshot
+	var seq int64
+	cfg := sim.ScaleConfig{
+		N: spec.N, K: spec.K, Seed: spec.Seed,
+		Sample: sample, Epsilon: spec.Epsilon,
+		MaxEpochs: spec.Epochs, Workers: workers, Shards: shards,
+		StaggerBatches: spec.Stagger,
+		Churn:          comp.sched,
+		DemandAt:       comp.demandAt,
+		Net:            net,
+		OnPublish: func(pub sim.Publication) {
+			if pub.Full {
+				cur = plane.Compile(seq, pub.Wiring, pub.Active, net, plane.Options{})
+			} else {
+				cur = cur.Patch(seq, pub.Changed, pub.Wiring, pub.Active)
+			}
+			seq++
+			fresh := plane.Compile(seq, pub.Wiring, pub.Active, net, plane.Options{})
+			got, want := cur.Digest(), fresh.Digest()
+			if got != want {
+				t.Fatalf("spec %s workers=%d shards=%d: patched chain diverged from Compile at publication (%d,%d): %x vs %x",
+					spec.Name, workers, shards, pub.Epoch, pub.SubRound, got, want)
+			}
+			stream = append(stream, fmt.Sprintf("%d %d %x", pub.Epoch, pub.SubRound, got))
+			if n := cur.N(); n >= 2 {
+				// Warm two deterministic rows for the next Patch to carry
+				// or invalidate.
+				src := int(seq*13) % n
+				cur.RouteCost(src, (src+1)%n)
+				cur.RouteCost((src+7)%n, src)
+			}
+		},
+	}
+	if len(spec.Events) > 0 {
+		cfg.ConvergedFrac = -1
+	}
+	if _, err := sim.RunScale(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatalf("spec %s: no publications fired", spec.Name)
+	}
+	return stream
+}
+
+// TestDeltaPatchDigestEquivalence pins the tentpole contract across
+// the whole committed scenario corpus at shards {1,4} × workers {1,4}.
+func TestDeltaPatchDigestEquivalence(t *testing.T) {
+	for _, spec := range ciSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ref := deltaDigestStream(t, spec, 1, 1)
+			for _, ws := range [][2]int{{4, 1}, {1, 4}, {4, 4}} {
+				got := deltaDigestStream(t, spec, ws[0], ws[1])
+				if len(got) != len(ref) {
+					t.Fatalf("workers=%d shards=%d: %d publications vs %d at workers=1 shards=1",
+						ws[0], ws[1], len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("workers=%d shards=%d: publication %d digest diverged:\n%s\n%s",
+							ws[0], ws[1], i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}

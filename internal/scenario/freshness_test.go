@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFreshnessSpec reads the committed serve-freshness gate spec so
+// the tests and the CI job share one source of truth.
+func loadFreshnessSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, err := Load(filepath.Join("..", "..", "ci", "scenarios", "serve-freshness.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestServeFreshnessSubroundGate runs the committed serve-freshness
+// spec as CI does: a 25% join wave hits mid-epoch while the data plane
+// republishes delta-patched snapshots every stagger sub-round. With
+// sub-round staleness only ~1/(stagger+1) of the wave's arrival window
+// is served from a snapshot that predates it, so availability must
+// hold the spec's 0.99 floor (enforced by the spec's own expect gate
+// inside Run).
+func TestServeFreshnessSubroundGate(t *testing.T) {
+	spec := loadFreshnessSpec(t)
+	if spec.Serve == nil || spec.Serve.Publish != PublishSubround {
+		t.Fatalf("spec lost its subround publish mode: %+v", spec.Serve)
+	}
+	if spec.Expect == nil || spec.Expect.MinAvailability < 0.99 {
+		t.Fatalf("spec lost its availability gate: %+v", spec.Expect)
+	}
+	m, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("subround publish: min availability %.4f (per-epoch %v)",
+		m.Serve.MinAvailability, m.Serve.AvailabilityPerEpoch)
+}
+
+// TestServeFreshnessEpochModeFalsifies is the gate's falsification
+// twin: the identical scenario under the old per-epoch publication
+// cadence must dip well below the 0.99 floor when the join wave's
+// epoch is served from the previous epoch's snapshot — proving the
+// gate measures sub-epoch freshness, not an always-true tautology.
+func TestServeFreshnessEpochModeFalsifies(t *testing.T) {
+	spec := loadFreshnessSpec(t)
+	spec.Serve.Publish = PublishEpoch
+	spec.Expect = nil
+	m, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("epoch publish: min availability %.4f (per-epoch %v)",
+		m.Serve.MinAvailability, m.Serve.AvailabilityPerEpoch)
+	if m.Serve.MinAvailability >= 0.99 {
+		t.Fatalf("per-epoch publication held %.4f availability through the join wave — the freshness gate would be vacuous",
+			m.Serve.MinAvailability)
+	}
+}

@@ -388,8 +388,9 @@ func runScaleEngine(spec *Spec, comp *compiled, opts Options, m *Metrics) error 
 		N: spec.N, K: spec.K, Seed: spec.Seed,
 		Sample: sample, Epsilon: spec.Epsilon,
 		MaxEpochs: spec.Epochs, Workers: opts.Workers, Shards: shards,
-		Churn:    comp.sched,
-		DemandAt: comp.demandAt,
+		StaggerBatches: spec.Stagger,
+		Churn:          comp.sched,
+		DemandAt:       comp.demandAt,
 	}
 	var serve *servePlane
 	if spec.Serve != nil {
@@ -406,7 +407,15 @@ func runScaleEngine(spec *Spec, comp *compiled, opts Options, m *Metrics) error 
 			spec: spec, net: net, srv: plane.NewServer(),
 			m: &ServeMetrics{QueriesPerEpoch: spec.Serve.QueriesPerEpoch},
 		}
-		cfg.OnEpoch = serve.onEpoch
+		if spec.Serve.Publish == PublishSubround {
+			// Sub-epoch cadence: the data plane re-publishes after every
+			// stagger sub-round via the delta-patch path, and the query
+			// panel measures each sub-round window against the snapshot
+			// published one sub-round earlier.
+			cfg.OnPublish = serve.onPublish
+		} else {
+			cfg.OnEpoch = serve.onEpoch
+		}
 	}
 	if len(spec.Events) > 0 {
 		// The engine's early convergence stop only waits for membership
@@ -457,13 +466,23 @@ func runScaleEngine(spec *Spec, comp *compiled, opts Options, m *Metrics) error 
 }
 
 // servePlane is the per-run serve-under-churn state behind the scale
-// engine's OnEpoch hook.
+// engine's OnEpoch hook (publish mode "epoch") or OnPublish hook
+// (publish mode "subround").
 type servePlane struct {
 	spec  *Spec
 	net   *underlay.Lite
 	srv   *plane.Server
 	m     *ServeMetrics
 	alive []int
+
+	// Subround-mode state: the latest published snapshot (the delta
+	// chain's tip), a monotone publication sequence used as the
+	// snapshot epoch tag, and the current epoch's partial panel tally.
+	prev      *plane.Snapshot
+	seq       int64
+	epQueries int
+	epReach   int
+	epStretch float64
 }
 
 // onEpoch is the engine hook: measure the epoch's query panel against
@@ -476,6 +495,80 @@ func (sp *servePlane) onEpoch(epoch int, wiring [][]int, active []bool) {
 		sp.measure(epoch, active)
 	}
 	sp.srv.Publish(plane.Compile(int64(epoch), wiring, active, sp.net, plane.Options{}))
+}
+
+// onPublish is the subround-mode engine hook, one call per stagger
+// sub-round: first the sub-round's slice of the epoch's query panel is
+// measured against the currently-served snapshot (published one
+// sub-round ago — the staleness a live client sees under sub-epoch
+// publication), then the changed rows are delta-patched onto the
+// previous snapshot and the result is published. The bootstrap Full
+// publication compiles from scratch and only publishes. Runs serially
+// inside the engine with seeded randomness, so records stay
+// byte-identical at any (Workers, Shards).
+func (sp *servePlane) onPublish(pub sim.Publication) {
+	if pub.Full {
+		sp.prev = plane.Compile(sp.seq, pub.Wiring, pub.Active, sp.net, plane.Options{})
+		sp.seq++
+		sp.srv.Publish(sp.prev)
+		return
+	}
+	sp.measureSlice(&pub)
+	sp.prev = sp.prev.Patch(sp.seq, pub.Changed, pub.Wiring, pub.Active)
+	sp.seq++
+	sp.srv.Publish(sp.prev)
+}
+
+// measureSlice runs the query-panel slice of one sub-round window. An
+// epoch has Rounds+1 publications (sub-rounds 0..Rounds-1 plus the
+// epoch-final churn drain), so the panel splits into Rounds+1
+// near-equal slices; the final slice flushes the epoch's tally into
+// the per-epoch series.
+func (sp *servePlane) measureSlice(pub *sim.Publication) {
+	q := sp.spec.Serve.QueriesPerEpoch
+	slots := pub.Rounds + 1
+	lo, hi := q*pub.SubRound/slots, q*(pub.SubRound+1)/slots
+	sp.alive = sp.alive[:0]
+	for v, on := range pub.Active {
+		if on {
+			sp.alive = append(sp.alive, v)
+		}
+	}
+	if hi > lo && len(sp.alive) >= 2 {
+		rng := rand.New(rand.NewSource(sp.spec.Seed + 7717*(int64(pub.Epoch)+2) + 104729*int64(pub.SubRound+1)))
+		snap := sp.srv.Current()
+		for i := lo; i < hi; i++ {
+			src := sp.alive[rng.Intn(len(sp.alive))]
+			dst := sp.alive[rng.Intn(len(sp.alive))]
+			for dst == src {
+				dst = sp.alive[rng.Intn(len(sp.alive))]
+			}
+			sp.m.Queries++
+			sp.epQueries++
+			if snap == nil {
+				sp.m.Failed++
+				continue
+			}
+			if cost := snap.RouteCost(src, dst); cost < graph.Inf {
+				sp.epReach++
+				sp.epStretch += cost / sp.net.Delay(src, dst)
+			}
+		}
+	}
+	if pub.SubRound == pub.Rounds {
+		if sp.epQueries == 0 {
+			sp.m.AvailabilityPerEpoch = append(sp.m.AvailabilityPerEpoch, -1)
+			sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, -1)
+		} else {
+			sp.m.AvailabilityPerEpoch = append(sp.m.AvailabilityPerEpoch, float64(sp.epReach)/float64(sp.epQueries))
+			if sp.epReach > 0 {
+				sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, sp.epStretch/float64(sp.epReach))
+			} else {
+				sp.m.StretchPerEpoch = append(sp.m.StretchPerEpoch, -1)
+			}
+		}
+		sp.epQueries, sp.epReach, sp.epStretch = 0, 0, 0
+	}
 }
 
 func (sp *servePlane) measure(epoch int, active []bool) {

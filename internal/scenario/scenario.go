@@ -77,6 +77,12 @@ type Spec struct {
 	// value, so it never appears in Metrics. Ignored by the full
 	// engine.
 	Shards int `json:"shards,omitempty"`
+	// Stagger overrides the scale engine's sub-round count per epoch
+	// (StaggerBatches; 0 keeps the engine default max(16, n/32)).
+	// Unlike Shards this is a dynamics knob — it changes when nodes
+	// act and how often sub-round publications fire — so it is part of
+	// the scenario, not the run options. Ignored by the full engine.
+	Stagger int `json:"stagger,omitempty"`
 	// Demand selects the preference weights p_ij (nil = uniform).
 	Demand *DemandModel `json:"demand,omitempty"`
 	// Churn is the background membership process (nil = static).
@@ -96,12 +102,30 @@ type Spec struct {
 	Expect *Expect `json:"expect,omitempty"`
 }
 
+// Publish modes of the serve panel.
+const (
+	// PublishEpoch publishes one full snapshot per epoch (the default):
+	// every query of epoch e is answered from the snapshot compiled at
+	// the end of epoch e-1 — up to a whole epoch of staleness.
+	PublishEpoch = "epoch"
+	// PublishSubround publishes at stagger sub-round granularity: the
+	// bootstrap compiles one full snapshot, then every sub-round's
+	// changed rows are delta-patched onto the previous snapshot
+	// (plane.Snapshot.Patch) and republished, so staleness shrinks to
+	// one sub-round. The query panel is spread across the epoch's
+	// sub-round windows accordingly.
+	PublishSubround = "subround"
+)
+
 // ServeSpec enables serve-under-churn measurement.
 type ServeSpec struct {
 	// QueriesPerEpoch is the per-epoch size of the query panel: src/dst
 	// pairs drawn uniformly from the currently-alive roster and
 	// answered from the last published snapshot.
 	QueriesPerEpoch int `json:"queries_per_epoch"`
+	// Publish is the publication cadence: PublishEpoch (default) or
+	// PublishSubround.
+	Publish string `json:"publish,omitempty"`
 }
 
 // DemandModel selects the preference weights p_ij.
@@ -201,6 +225,9 @@ func (s *Spec) Validate() error {
 	if s.Shards < 0 || s.Shards > s.N {
 		return fmt.Errorf("scenario %s: shards = %d outside [0, n=%d]", s.Name, s.Shards, s.N)
 	}
+	if s.Stagger < 0 || s.Stagger > s.N {
+		return fmt.Errorf("scenario %s: stagger = %d outside [0, n=%d]", s.Name, s.Stagger, s.N)
+	}
 	if s.Demand != nil {
 		switch s.Demand.Kind {
 		case "uniform", "gravity", "hotspot":
@@ -224,6 +251,12 @@ func (s *Spec) Validate() error {
 		}
 		if s.Engine != EngineScale {
 			return fmt.Errorf("scenario %s: serve requires engine %q pinned (the full engine has no static delay oracle to price stretch against)", s.Name, EngineScale)
+		}
+		switch s.Serve.Publish {
+		case "", PublishEpoch, PublishSubround:
+		default:
+			return fmt.Errorf("scenario %s: unknown serve publish mode %q (want %q or %q)",
+				s.Name, s.Serve.Publish, PublishEpoch, PublishSubround)
 		}
 	}
 	if s.Expect != nil && s.Expect.MinAvailability > 0 {

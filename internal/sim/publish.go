@@ -1,0 +1,139 @@
+package sim
+
+import "sort"
+
+// Publication is one data-plane publication unit: the overlay state
+// right after one stagger sub-round folded, plus the exact set of rows
+// that changed since the previous publication — what an incremental
+// publisher (plane.Snapshot.Patch) needs to derive the next snapshot
+// without a full recompile.
+type Publication struct {
+	// Epoch is the epoch in progress; -1 is the bootstrap publication.
+	Epoch int
+	// SubRound is the stagger sub-round just folded (0..Rounds-1),
+	// Rounds for the epoch-final churn drain, -1 for the bootstrap.
+	SubRound int
+	// Rounds is the run's sub-round count per epoch.
+	Rounds int
+	// Full marks the bootstrap publication: Changed is nil and the
+	// subscriber must compile from scratch. Every later publication is
+	// a delta on top of the previous one.
+	Full bool
+	// Changed lists, ascending and without duplicates, every node whose
+	// wiring row or membership changed since the previous publication:
+	// adopted re-wirings, joiners, leavers, and the in-neighbors a
+	// leave orphaned. It may be empty (an idle sub-round still
+	// publishes, so subscribers can pace on sub-round boundaries). The
+	// slice is engine scratch, valid only for the duration of the call.
+	Changed []int
+	// Wiring and Active are the engine's own live arrays, borrowed
+	// read-only for the duration of the call — same contract as
+	// OnEpoch's arguments.
+	Wiring [][]int
+	Active []bool
+}
+
+// markChanged records node i into the pending publication's changed
+// set. No-op when no OnPublish subscriber is attached (pubMark nil), so
+// the hook costs nothing on runs that do not use it.
+func (e *scaleEngine) markChanged(i int) {
+	if e.pubMark == nil || e.pubMark[i] {
+		return
+	}
+	e.pubMark[i] = true
+	e.pubChanged = append(e.pubChanged, i)
+}
+
+// publish fires OnPublish with the accumulated changed set and resets
+// it. Runs in the engine's serial section; the sort keeps the set
+// deterministic regardless of the mark order within the sub-round.
+func (e *scaleEngine) publish(epoch, sub, rounds int) {
+	if e.c.OnPublish == nil {
+		return
+	}
+	sort.Ints(e.pubChanged)
+	e.c.OnPublish(Publication{
+		Epoch: epoch, SubRound: sub, Rounds: rounds,
+		Changed: e.pubChanged, Wiring: e.wiring, Active: e.active,
+	})
+	for _, i := range e.pubChanged {
+		e.pubMark[i] = false
+	}
+	e.pubChanged = e.pubChanged[:0]
+}
+
+// pubTracker derives Publications for the full engine by diffing
+// against the last published state. The full engine mutates wirings
+// from several places (adoption, churn repair, the connectivity
+// fallback) and — unlike the scale engine — keeps departed nodes'
+// links in place awaiting delayed repair, so a row's *compiled* arcs
+// change whenever a target's membership flips even though the row
+// itself did not. Diffing against a retained copy, with flipped
+// targets counted as row changes, captures every mutation source
+// without instrumenting them; at full-engine sizes the O(n·k) scan per
+// publication is noise.
+type pubTracker struct {
+	cb      func(Publication)
+	rounds  int
+	wiring  [][]int // deep copy of the last published wiring
+	active  []bool
+	flipped []bool // scratch: membership flips this publication
+	changed []int
+}
+
+func newPubTracker(cb func(Publication), n, rounds int) *pubTracker {
+	return &pubTracker{
+		cb:      cb,
+		rounds:  rounds,
+		wiring:  make([][]int, n),
+		active:  make([]bool, n),
+		flipped: make([]bool, n),
+	}
+}
+
+// bootstrap fires the Full publication and retains the state.
+func (t *pubTracker) bootstrap(wiring [][]int, active []bool) {
+	t.retain(nil, wiring, active, true)
+	t.cb(Publication{Epoch: -1, SubRound: -1, Rounds: t.rounds, Full: true, Wiring: wiring, Active: active})
+}
+
+// publish diffs, fires, and retains.
+func (t *pubTracker) publish(epoch, sub int, wiring [][]int, active []bool) {
+	t.changed = t.changed[:0]
+	anyFlip := false
+	for v := range active {
+		t.flipped[v] = active[v] != t.active[v]
+		anyFlip = anyFlip || t.flipped[v]
+	}
+	for u := range wiring {
+		if t.flipped[u] || !sameWiring(wiring[u], t.wiring[u]) {
+			t.changed = append(t.changed, u)
+			continue
+		}
+		if anyFlip && active[u] {
+			for _, v := range wiring[u] {
+				if t.flipped[v] {
+					t.changed = append(t.changed, u)
+					break
+				}
+			}
+		}
+	}
+	t.retain(t.changed, wiring, active, false)
+	t.cb(Publication{Epoch: epoch, SubRound: sub, Rounds: t.rounds, Changed: t.changed, Wiring: wiring, Active: active})
+}
+
+// retain copies the rows of the changed set (or everything when full)
+// plus the membership array into the tracker's shadow state.
+func (t *pubTracker) retain(changed []int, wiring [][]int, active []bool, full bool) {
+	copy(t.active, active)
+	if full {
+		for u := range wiring {
+			t.wiring[u] = append(t.wiring[u][:0], wiring[u]...)
+		}
+		return
+	}
+	for _, u := range changed {
+		t.wiring[u] = append(t.wiring[u][:0], wiring[u]...)
+	}
+}

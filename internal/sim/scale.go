@@ -142,6 +142,33 @@ type ScaleConfig struct {
 	// The hook runs outside the parallel proposal phase and must stay
 	// deterministic to preserve the engine's any-worker-count contract.
 	OnEpoch func(epoch int, wiring [][]int, active []bool)
+	// OnPublish, when non-nil, is the sub-epoch publication hook: it is
+	// called serially after every stagger sub-round's serial fold (and
+	// after the epoch-final churn drain) with the set of rows that
+	// changed since the previous call, so a data-plane publisher can
+	// delta-patch its snapshot instead of recompiling per epoch.
+	//
+	// Ordering contract, pinned by TestScalePublicationOrdering: the
+	// FIRST call is the bootstrap publication {Epoch: -1, SubRound: -1,
+	// Full: true}, delivered on the engine goroutine before any churn
+	// event or proposal is played — the same state OnEpoch(-1) sees,
+	// and delivered after OnEpoch(-1) when both hooks are set. Every
+	// later call is a delta that applies on top of the state of the
+	// previous call, in strict call order on the same goroutine: the
+	// first sub-round delta (which also carries any churn drained
+	// before epoch 0's first batch) applies on top of the bootstrap
+	// snapshot and can never race or precede it. Subscribers must
+	// finish deriving their snapshot before returning; the Changed
+	// slice and the wiring/active arrays are engine-owned scratch, not
+	// to be retained. The hook must stay deterministic — like OnEpoch
+	// it runs outside the parallel proposal phase, and the engine's
+	// byte-identical any-(workers, shards) contract extends to the
+	// publication sequence.
+	//
+	// OnEpoch remains the full per-epoch compile fallback; both hooks
+	// may be set (each epoch's final-drain publication fires before
+	// that epoch's OnEpoch call).
+	OnPublish func(pub Publication)
 	// BROpts tunes the per-node solver.
 	BROpts core.BROptions
 }
@@ -345,6 +372,12 @@ type scaleEngine struct {
 	editsBuf   []graph.RowEdit
 	arcsBuf    []graph.Arc
 	rewiredBuf []int
+
+	// Pending-publication changed set (nil pubMark: no OnPublish
+	// subscriber, zero cost). pubChanged accumulates marks between
+	// publish calls; pubMark dedups them.
+	pubMark    []bool
+	pubChanged []int
 }
 
 // The propose/apply split — the scale engine's determinism contract.
@@ -437,6 +470,7 @@ func (e *scaleEngine) adoptBatch(batch []int, props []scaleProposal, ep *ScaleEp
 			if !sameWiring(e.wiring[i], props[i].set) {
 				ep.Rewires++
 				rewired = append(rewired, i)
+				e.markChanged(i)
 			}
 			e.adoptWiring(i, props[i].set)
 		}
@@ -556,6 +590,7 @@ func (e *scaleEngine) join(v int, poolLive bool) {
 	c := e.c
 	e.active[v] = true
 	e.joins++
+	e.markChanged(v)
 	// The alive roster does not include v yet; that is exactly the
 	// population a newcomer may wire. A joiner into an empty overlay
 	// waits unwired for company.
@@ -585,10 +620,12 @@ func (e *scaleEngine) join(v int, poolLive bool) {
 func (e *scaleEngine) leave(v int, poolLive bool) {
 	e.active[v] = false
 	e.leaves++
+	e.markChanged(v)
 	e.editsBuf = e.editsBuf[:0]
 	e.arcsBuf = e.arcsBuf[:0]
 	for _, ui := range e.inlinks[v] {
 		u := int(ui)
+		e.markChanged(u)
 		ws := e.wiring[u]
 		for x, tgt := range ws {
 			if tgt == v {
@@ -715,6 +752,9 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		eng.inlinks = make([][]int32, n)
 		eng.rebuildAlive()
 	}
+	if c.OnPublish != nil {
+		eng.pubMark = make([]bool, n)
+	}
 
 	// Bootstrap epoch (-1): every initially-alive node wires its closest
 	// member of a small uniform sample plus K-1 uniform random nodes
@@ -747,6 +787,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		// Publish the bootstrap wiring so the data plane can answer
 		// queries from epoch 0's first sub-round onward.
 		c.OnEpoch(-1, eng.wiring, eng.active)
+	}
+	if c.OnPublish != nil {
+		// The bootstrap publication — see the ordering contract at the
+		// OnPublish field: this Full publication is strictly first, and
+		// every sub-round delta below applies on top of it.
+		c.OnPublish(Publication{Epoch: -1, SubRound: -1, Rounds: c.StaggerBatches, Full: true, Wiring: eng.wiring, Active: eng.active})
 	}
 
 	// Fixed batch partition: node i acts in sub-round i mod B.
@@ -791,20 +837,27 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 				for _, i := range batch {
 					props[i].acted = false
 				}
-				continue
+			} else {
+				if err := eng.proposeBatch(ws, batch, epoch, demand, props); err != nil {
+					return nil, err
+				}
+				a, s := eng.adoptBatch(batch, props, &ep)
+				acted += a
+				samples += s
 			}
-			if err := eng.proposeBatch(ws, batch, epoch, demand, props); err != nil {
-				return nil, err
-			}
-			a, s := eng.adoptBatch(batch, props, &ep)
-			acted += a
-			samples += s
+			// Sub-round publication: the batch's adoptions plus any churn
+			// drained since the previous publication (idle sub-rounds
+			// publish an empty delta so subscribers can pace on them).
+			eng.publish(epoch, b, len(batches))
 		}
 		// Drain the last sub-round window's events before the epoch
 		// closes: without this, events scheduled inside the final
 		// 1/StaggerBatches of the run's last epoch would silently never
 		// apply while pendingEvents still counted them.
 		eng.runScaleChurn(float64(epoch+1), true)
+		// The epoch-final drain's delta publishes before OnEpoch so the
+		// legacy hook stays the epoch's last word.
+		eng.publish(epoch, len(batches), len(batches))
 		if c.OnEpoch != nil {
 			c.OnEpoch(epoch, eng.wiring, eng.active)
 		}

@@ -141,6 +141,19 @@ type Config struct {
 	// filter with active (plane.Compile does). Must stay deterministic
 	// to preserve the any-worker-count contract.
 	OnEpoch func(epoch int, wiring [][]int, active []bool)
+	// OnPublish, when non-nil, is the sub-epoch publication hook — the
+	// full engine's counterpart of ScaleConfig.OnPublish, with the same
+	// Publication schema and ordering contract (bootstrap Full first,
+	// strictly ordered deltas after; see the contract note in
+	// scale.go). The per-node stagger is grouped into min(16, N)
+	// sub-rounds and a publication fires after each, plus one after the
+	// epoch-final churn drain and connectivity fallback. Changed sets
+	// are computed by diffing against the previously published state —
+	// unlike the scale engine, wiring rows here may keep links to
+	// departed nodes awaiting delayed repair, so a row also counts as
+	// changed when a target's membership flipped (its compiled arcs
+	// change even though the row did not).
+	OnPublish func(pub Publication)
 	// Incremental switches the proposal phase's residual-matrix
 	// construction from one full all-pairs computation per node to an
 	// incrementally repaired shortest-path forest per worker: each node's
@@ -703,6 +716,15 @@ func (st *state) run() (*Result, error) {
 	if cfg.OnEpoch != nil {
 		cfg.OnEpoch(-1, st.wiring, st.active)
 	}
+	var pub *pubTracker
+	if cfg.OnPublish != nil {
+		rounds := 16
+		if cfg.N < rounds {
+			rounds = cfg.N
+		}
+		pub = newPubTracker(cfg.OnPublish, cfg.N, rounds)
+		pub.bootstrap(st.wiring, st.active)
+	}
 	total := cfg.WarmEpochs + cfg.MeasureEpochs
 	for epoch := 0; epoch < total; epoch++ {
 		if cfg.PrefAt != nil {
@@ -733,21 +755,30 @@ func (st *state) run() (*Result, error) {
 				// paper's continuous monitoring sees them.
 				snapshot(false)
 			}
-			if !st.active[i] {
-				continue
+			if st.active[i] {
+				var prop *proposal
+				if props != nil {
+					prop = &props[i]
+				}
+				if err := st.adopt(i, epoch, prop, counter); err != nil {
+					return nil, err
+				}
 			}
-			var prop *proposal
-			if props != nil {
-				prop = &props[i]
-			}
-			if err := st.adopt(i, epoch, prop, counter); err != nil {
-				return nil, err
+			if pub != nil {
+				// Group the per-node stagger into pub.rounds sub-rounds
+				// and publish at each boundary.
+				if sub := (p + 1) * pub.rounds / cfg.N; sub > p*pub.rounds/cfg.N {
+					pub.publish(epoch, sub-1, st.wiring, st.active)
+				}
 			}
 		}
 		if _, err := st.applyChurn(float64(epoch+1), counter); err != nil {
 			return nil, err
 		}
 		st.enforceCycleIfNeeded()
+		if pub != nil {
+			pub.publish(epoch, pub.rounds, st.wiring, st.active)
+		}
 		if cfg.OnEpoch != nil {
 			cfg.OnEpoch(epoch, st.wiring, st.active)
 		}
