@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -73,7 +74,10 @@ func main() {
 		bench    = flag.Bool("bench", false, "run the embedded load generator")
 		benchDur = flag.Duration("bench-duration", 3*time.Second, "load-generator duration per mode")
 		clients  = flag.Int("clients", 1, "concurrent load-generator clients (1 = the single-core number)")
-		modes    = flag.String("modes", "onehop,route", "comma-separated lookup paths to bench: onehop, route")
+		modes    = flag.String("modes", "onehop,route", "comma-separated lookup paths to bench: onehop, route, batchjson, batchbin")
+		cores    = flag.Int("cores", 1, "server shards (0 = NumCPU); above 1 the onehop/route benches add *_multicore records with one pinned client per shard")
+		batchSz  = flag.Int("batch", 256, "pairs per request in the batchjson/batchbin bench modes")
+		binAddr  = flag.String("binary", "", "serve the length-prefixed binary batch protocol on this TCP address")
 		benchOut = flag.String("bench-json", "", "write BENCH_serve.json records to this path")
 		baseline = flag.String("baseline", "", "gate against this serve-baseline file (fails below min_onehop_qps)")
 		cacheRow = flag.Int("cache-rows", 256, "shortest-path row cache size (rows)")
@@ -81,7 +85,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := plane.NewServer()
+	srv := plane.NewServerShards(*cores)
 	var snap *plane.Snapshot
 	var kUsed int
 	seedUsed := *seed
@@ -122,18 +126,43 @@ func main() {
 	if *bench || *pubBench > 0 {
 		var recs []ServeRecord
 		if *bench {
+			report := func(rec ServeRecord) {
+				recs = append(recs, rec)
+				fmt.Printf("bench %-22s clients=%-3d lookups=%-10d qps=%-11.0f p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
+					rec.Name, rec.Clients, rec.Lookups, rec.QPS, rec.P50us, rec.P90us, rec.P99us)
+			}
 			for _, mode := range strings.Split(*modes, ",") {
 				mode = strings.TrimSpace(mode)
 				if mode == "" {
 					continue
 				}
-				rec, err := runBench(srv, snap, kUsed, mode, *clients, *benchDur, seedUsed)
-				if err != nil {
-					fatal(err)
+				switch mode {
+				case "onehop", "route":
+					rec, err := runBench(srv, snap, kUsed, mode, *clients, *benchDur, seedUsed)
+					if err != nil {
+						fatal(err)
+					}
+					report(rec)
+					if srv.Shards() > 1 {
+						// The multi-core record: one pinned client per
+						// shard, same lookup path.
+						rec, err := runBench(srv, snap, kUsed, mode, srv.Shards(), *benchDur, seedUsed)
+						if err != nil {
+							fatal(err)
+						}
+						rec.Name += "_multicore"
+						rec.Cores = srv.Shards()
+						report(rec)
+					}
+				case "batchjson", "batchbin":
+					rec, err := runBatchBench(srv, snap, kUsed, mode, *clients, *batchSz, *benchDur, seedUsed)
+					if err != nil {
+						fatal(err)
+					}
+					report(rec)
+				default:
+					fatal(fmt.Errorf("unknown bench mode %q (want onehop, route, batchjson, or batchbin)", mode))
 				}
-				recs = append(recs, rec)
-				fmt.Printf("bench %-12s clients=%-3d lookups=%-10d qps=%-11.0f p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
-					rec.Name, rec.Clients, rec.Lookups, rec.QPS, rec.P50us, rec.P90us, rec.P99us)
 			}
 		}
 		if *pubBench > 0 {
@@ -157,18 +186,36 @@ func main() {
 		}
 	}
 
-	if *httpAddr != "" {
-		ln, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			fatal(err)
+	if *httpAddr != "" || *binAddr != "" {
+		var hs *http.Server
+		var binLn net.Listener
+		if *httpAddr != "" {
+			ln, err := net.Listen("tcp", *httpAddr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("serving /route /routes /routes.bin /snapshot on http://%s\n", ln.Addr())
+			hs = &http.Server{Handler: srv.Handler()}
+			go func() { _ = hs.Serve(ln) }()
 		}
-		fmt.Printf("serving /route /routes /snapshot on http://%s\n", ln.Addr())
-		hs := &http.Server{Handler: srv.Handler()}
-		go func() { _ = hs.Serve(ln) }()
+		if *binAddr != "" {
+			var err error
+			binLn, err = net.Listen("tcp", *binAddr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("serving binary batch protocol on tcp://%s\n", binLn.Addr())
+			go func() { _ = srv.ServeBinary(binLn) }()
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		_ = hs.Close()
+		if hs != nil {
+			_ = hs.Close()
+		}
+		if binLn != nil {
+			_ = binLn.Close()
+		}
 	}
 }
 
@@ -314,10 +361,15 @@ func (h *latHist) quantile(q float64) float64 {
 }
 
 // runBench hammers one lookup path with the given number of client
-// goroutines for the given duration. The route mode draws sources from
-// a 64-node hot set so the row cache behaves as it does for a skewed
-// production workload (sources repeat); one-hop has no per-source
-// state to warm.
+// goroutines for the given duration, each pinned to its own server
+// shard (with clients <= shards no two clients share a cache or a
+// counter — the multi-core scaling shape). The route mode draws sources
+// from a 64-node hot set so the row cache behaves as it does for a
+// skewed production workload (sources repeat), and warms it the
+// production way: the priming queries feed the per-source counters,
+// and a re-publish lets the server's hot-row precompute seed every
+// shard. The measured loops are the zero-alloc paths (Shard.OneHop,
+// Shard.AppendRoute with a recycled buffer).
 func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clients int, dur time.Duration, seed int64) (ServeRecord, error) {
 	n := snap.N()
 	if snap.NumLive() == 0 {
@@ -337,11 +389,15 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 			}
 		}
 		sort.Ints(hot)
-		// Warm the cache so the measurement is the serving path, not
-		// the one-time row fill.
+		// Prime the hot-row counters, then re-publish: the measurement
+		// is the serving path over publish-warmed rows, not the
+		// one-time row fill.
 		for _, src := range hot {
-			snap.RouteCost(src, (src+1)%n)
+			if _, _, err := srv.Shard(0).RouteCost(src, (src+1)%n); err != nil {
+				return ServeRecord{}, err
+			}
 		}
+		srv.Publish(srv.Current())
 	default:
 		return ServeRecord{}, fmt.Errorf("unknown bench mode %q (want onehop or route)", mode)
 	}
@@ -355,8 +411,10 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			sh := srv.Shard(c)
 			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
 			h := hists[c]
+			var buf []int32
 			for b := 0; ; b++ {
 				// Check the clock once per 64 lookups: a syscall-free
 				// time source would be nicer, but this keeps the
@@ -374,9 +432,11 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 				t0 := time.Now()
 				var err error
 				if mode == "route" {
-					_, _, _, err = srv.Route(src, dst)
+					var path []int32
+					path, _, _, err = sh.AppendRoute(src, dst, buf)
+					buf = path[:0]
 				} else {
-					_, _, err = srv.OneHop(src, dst)
+					_, _, err = sh.OneHop(src, dst)
 				}
 				if err != nil {
 					panic(err) // ids are in range and a snapshot is published
@@ -406,8 +466,166 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 	}, nil
 }
 
+// batchWireRequest / batchWireResponse mirror the JSON wire shape of
+// POST /routes (the server's types are internal to plane; the bench is
+// a real external client and pays real encode/decode costs).
+type batchWireRequest struct {
+	Mode  string   `json:"mode"`
+	Pairs [][2]int `json:"pairs"`
+}
+
+type batchWireResponse struct {
+	Epoch   int64 `json:"epoch"`
+	Results []struct {
+		Cost float64 `json:"cost"`
+		Ok   bool    `json:"ok"`
+	} `json:"results"`
+}
+
+// runBatchBench measures batched one-hop lookups through a real
+// loopback transport: mode batchjson drives POST /routes (JSON
+// marshal/unmarshal per batch), batchbin drives the length-prefixed
+// binary protocol over TCP with reused buffers. Identical pair
+// streams, so the two records differ only in protocol cost — the
+// binary-vs-JSON CI gate compares their QPS. Quantiles are per-batch
+// round-trip latency; Lookups counts pairs.
+func runBatchBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clients, batch int, dur time.Duration, seed int64) (ServeRecord, error) {
+	n := snap.N()
+	if batch < 1 || batch > 10000 {
+		return ServeRecord{}, fmt.Errorf("batch size %d outside [1,10000]", batch)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeRecord{}, err
+	}
+	defer ln.Close()
+	rec := ServeRecord{
+		Name: "serve_" + mode, N: n, K: k, Epoch: snap.Epoch(),
+		Clients: clients, Batch: batch,
+	}
+	if srv.Shards() > 1 {
+		rec.Cores = srv.Shards()
+	}
+	switch mode {
+	case "batchjson":
+		rec.Protocol = "http-json"
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+	case "batchbin":
+		rec.Protocol = "tcp-binary"
+		go func() { _ = srv.ServeBinary(ln) }()
+	default:
+		return ServeRecord{}, fmt.Errorf("unknown batch mode %q", mode)
+	}
+	addr := ln.Addr().String()
+
+	hists := make([]*latHist, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		hists[c] = &latHist{}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*104729))
+			h := hists[c]
+			if mode == "batchbin" {
+				client, err := plane.DialBinary(addr)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				defer client.Close()
+				pairs := make([]uint32, 2*batch)
+				var results []plane.BinResult
+				for !time.Now().After(deadline) {
+					for i := range pairs {
+						pairs[i] = uint32(rng.Intn(n))
+					}
+					t0 := time.Now()
+					resp, err := client.Do(plane.BinModeOneHop, pairs)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					_, rs, err := plane.DecodeBatchResponse(resp, plane.BinModeOneHop, results)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					results = rs
+					if len(rs) != batch {
+						errs[c] = fmt.Errorf("binary batch answered %d of %d pairs", len(rs), batch)
+						return
+					}
+					h.add(time.Since(t0).Nanoseconds())
+				}
+				return
+			}
+			httpc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+			req := batchWireRequest{Mode: "onehop", Pairs: make([][2]int, batch)}
+			url := "http://" + addr + "/routes"
+			for !time.Now().After(deadline) {
+				for i := range req.Pairs {
+					req.Pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+				}
+				t0 := time.Now()
+				body, err := json.Marshal(req)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				httpResp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var resp batchWireResponse
+				err = json.NewDecoder(httpResp.Body).Decode(&resp)
+				httpResp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if len(resp.Results) != batch {
+					errs[c] = fmt.Errorf("JSON batch answered %d of %d pairs", len(resp.Results), batch)
+					return
+				}
+				h.add(time.Since(t0).Nanoseconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ServeRecord{}, fmt.Errorf("%s client: %w", mode, err)
+		}
+	}
+	total := &latHist{}
+	for _, h := range hists {
+		total.merge(h)
+	}
+	if total.count == 0 {
+		return ServeRecord{}, fmt.Errorf("%s bench completed no batches", mode)
+	}
+	rec.Seconds = elapsed
+	rec.Lookups = total.count * int64(batch)
+	rec.QPS = float64(rec.Lookups) / elapsed
+	rec.P50us = total.quantile(0.50)
+	rec.P90us = total.quantile(0.90)
+	rec.P99us = total.quantile(0.99)
+	return rec, nil
+}
+
 // gate enforces the serve baseline: the one-hop record must meet the
-// committed minimum throughput.
+// committed minimum throughput, and when the baseline carries the
+// multi-core or binary-protocol gates, the records they need must be
+// present and meet them — a missing record fails the gate rather than
+// silently skipping it.
 func gate(recs []ServeRecord, path string) error {
 	bl, err := experiments.ReadServeBaseline(path)
 	if err != nil {
@@ -416,17 +634,66 @@ func gate(recs []ServeRecord, path string) error {
 	if bl.MinOneHopQPS <= 0 {
 		return fmt.Errorf("%s: no min_onehop_qps", path)
 	}
+	byName := map[string]ServeRecord{}
 	for _, rec := range recs {
-		if rec.Name == "serve_onehop" {
-			if rec.QPS < bl.MinOneHopQPS {
-				return fmt.Errorf("one-hop throughput %.0f lookups/sec below the %.0f floor in %s",
-					rec.QPS, bl.MinOneHopQPS, path)
+		byName[rec.Name] = rec
+	}
+	need := func(name string) (ServeRecord, error) {
+		rec, ok := byName[name]
+		if !ok {
+			return ServeRecord{}, fmt.Errorf("no %s record to gate against %s", name, path)
+		}
+		return rec, nil
+	}
+	onehop, err := need("serve_onehop")
+	if err != nil {
+		return err
+	}
+	if onehop.QPS < bl.MinOneHopQPS {
+		return fmt.Errorf("one-hop throughput %.0f lookups/sec below the %.0f floor in %s",
+			onehop.QPS, bl.MinOneHopQPS, path)
+	}
+	fmt.Printf("serve gate: one-hop %.0f lookups/sec >= %.0f floor\n", onehop.QPS, bl.MinOneHopQPS)
+	if bl.MinOneHopQPSMulticore > 0 || bl.MinMulticoreScaling > 0 {
+		multi, err := need("serve_onehop_multicore")
+		if err != nil {
+			return err
+		}
+		if bl.MinOneHopQPSMulticore > 0 {
+			if multi.QPS < bl.MinOneHopQPSMulticore {
+				return fmt.Errorf("multi-core one-hop throughput %.0f lookups/sec (cores=%d) below the %.0f floor in %s",
+					multi.QPS, multi.Cores, bl.MinOneHopQPSMulticore, path)
 			}
-			fmt.Printf("serve gate: one-hop %.0f lookups/sec >= %.0f floor\n", rec.QPS, bl.MinOneHopQPS)
-			return nil
+			fmt.Printf("serve gate: multi-core one-hop %.0f lookups/sec (cores=%d) >= %.0f floor\n",
+				multi.QPS, multi.Cores, bl.MinOneHopQPSMulticore)
+		}
+		if bl.MinMulticoreScaling > 0 {
+			scaling := multi.QPS / onehop.QPS
+			if scaling < bl.MinMulticoreScaling {
+				return fmt.Errorf("multi-core one-hop scaling %.2fx (cores=%d) below the %.2fx floor in %s",
+					scaling, multi.Cores, bl.MinMulticoreScaling, path)
+			}
+			fmt.Printf("serve gate: multi-core scaling %.2fx (cores=%d) >= %.2fx floor\n",
+				scaling, multi.Cores, bl.MinMulticoreScaling)
 		}
 	}
-	return fmt.Errorf("no serve_onehop record to gate against %s", path)
+	if bl.MinBinaryBatchSpeedup > 0 {
+		jsonRec, err := need("serve_batchjson")
+		if err != nil {
+			return err
+		}
+		binRec, err := need("serve_batchbin")
+		if err != nil {
+			return err
+		}
+		speedup := binRec.QPS / jsonRec.QPS
+		if speedup < bl.MinBinaryBatchSpeedup {
+			return fmt.Errorf("binary batch protocol %.2fx the JSON throughput, below the %.2fx floor in %s",
+				speedup, bl.MinBinaryBatchSpeedup, path)
+		}
+		fmt.Printf("serve gate: binary batch %.2fx JSON throughput >= %.2fx floor\n", speedup, bl.MinBinaryBatchSpeedup)
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -440,8 +707,11 @@ func fatal(err error) {
 // process, and every sub-round publication is executed both ways — a
 // full from-scratch Compile and a delta Patch of the previous snapshot
 // — so BENCH_serve.json carries the two cost columns measured on the
-// identical publication stream. The two timings alternate order across
-// publications to cancel allocator warm-up bias, and one route row is
+// identical publication stream. The delta Patch is timed inline (it IS
+// the production publication path); the reference full Compile runs on
+// a dedicated timing goroutine, fed copies of each publication's
+// wiring, so its cost never lands inside the epochs being measured —
+// the engine only pays a slice copy, not a Compile. One route row is
 // kept warm so the Patch timing includes its real carry/invalidate
 // work, not just the CSR splice.
 func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, cacheRows int) ([]ServeRecord, error) {
@@ -487,6 +757,25 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 		changedRows     int64
 	)
 	opts := plane.Options{RouteCacheRows: cacheRows}
+	// The timing goroutine owns fullHist/fullNs until fullWG is waited.
+	type pubCopy struct {
+		seq    int64
+		wiring [][]int
+		active []bool
+	}
+	fullCh := make(chan pubCopy, 32)
+	var fullWG sync.WaitGroup
+	fullWG.Add(1)
+	go func() {
+		defer fullWG.Done()
+		for pc := range fullCh {
+			t := time.Now()
+			plane.Compile(pc.seq, pc.wiring, pc.active, oracle, opts)
+			ns := time.Since(t).Nanoseconds()
+			fullNs += ns
+			fullHist.add(ns)
+		}
+	}()
 	cfg := sim.ScaleConfig{
 		N: n, K: k, Seed: seed, Sample: spec,
 		MaxEpochs: epochs, Workers: workers, Net: oracle,
@@ -497,27 +786,20 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 				seq++
 				return
 			}
-			var next, full *plane.Snapshot
-			timeFull := func() {
-				t := time.Now()
-				full = plane.Compile(seq, pub.Wiring, pub.Active, oracle, opts)
-				fullNs += time.Since(t).Nanoseconds()
-				fullHist.add(time.Since(t).Nanoseconds())
+			// The engine may keep mutating its wiring after the hook
+			// returns, so the timing goroutine gets a copy — the only
+			// cost the engine pays for the reference measurement.
+			cp := pubCopy{seq: seq, wiring: make([][]int, len(pub.Wiring)), active: append([]bool(nil), pub.Active...)}
+			for u, ws := range pub.Wiring {
+				if ws != nil {
+					cp.wiring[u] = append([]int(nil), ws...)
+				}
 			}
-			timeDelta := func() {
-				t := time.Now()
-				next = prev.Patch(seq, pub.Changed, pub.Wiring, pub.Active)
-				deltaNs += time.Since(t).Nanoseconds()
-				deltaHist.add(time.Since(t).Nanoseconds())
-			}
-			if seq%2 == 0 {
-				timeFull()
-				timeDelta()
-			} else {
-				timeDelta()
-				timeFull()
-			}
-			_ = full
+			fullCh <- cp
+			t := time.Now()
+			next := prev.Patch(seq, pub.Changed, pub.Wiring, pub.Active)
+			deltaNs += time.Since(t).Nanoseconds()
+			deltaHist.add(time.Since(t).Nanoseconds())
 			prev = next
 			seq++
 			changedRows += int64(len(pub.Changed))
@@ -525,8 +807,11 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 		},
 	}
 	fmt.Printf("publish bench: n=%d k=%d sample=%s epochs=%d churn=exp(60,12)\n", n, k, sampleSpec, epochs)
-	if _, err := sim.RunScale(cfg); err != nil {
-		return nil, err
+	_, runErr := sim.RunScale(cfg)
+	close(fullCh)
+	fullWG.Wait()
+	if runErr != nil {
+		return nil, runErr
 	}
 	if fullHist.count == 0 {
 		return nil, fmt.Errorf("publish bench ran no publications")

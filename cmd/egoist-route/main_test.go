@@ -92,6 +92,94 @@ func TestGateOutcomes(t *testing.T) {
 	if err := gate(onehop, filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("unreadable baseline passed")
 	}
+
+	// The multi-core gates: absolute floor, scaling ratio, and the
+	// missing-record shape (a baseline that names the gate must fail
+	// when the run produced no multicore record, not skip silently).
+	multi := []ServeRecord{
+		{Name: "serve_onehop", QPS: 500},
+		{Name: "serve_onehop_multicore", QPS: 1800, Cores: 4},
+	}
+	write(`{"min_onehop_qps": 100, "min_onehop_qps_multicore": 1500, "min_multicore_scaling": 3.0}`)
+	if err := gate(multi, base); err != nil {
+		t.Fatalf("met multicore gates failed: %v", err)
+	}
+	write(`{"min_onehop_qps": 100, "min_onehop_qps_multicore": 2500}`)
+	if err := gate(multi, base); err == nil {
+		t.Fatal("missed multicore floor passed")
+	}
+	write(`{"min_onehop_qps": 100, "min_multicore_scaling": 4.0}`)
+	if err := gate(multi, base); err == nil {
+		t.Fatal("missed scaling floor passed (1800/500 = 3.6x < 4x)")
+	}
+	write(`{"min_onehop_qps": 100, "min_multicore_scaling": 3.0}`)
+	if err := gate(onehop, base); err == nil {
+		t.Fatal("scaling gate passed without a serve_onehop_multicore record")
+	}
+
+	// The binary-vs-JSON batch gate.
+	batches := []ServeRecord{
+		{Name: "serve_onehop", QPS: 500},
+		{Name: "serve_batchjson", QPS: 300000, Protocol: "http-json", Batch: 256},
+		{Name: "serve_batchbin", QPS: 900000, Protocol: "tcp-binary", Batch: 256},
+	}
+	write(`{"min_onehop_qps": 100, "min_binary_batch_speedup": 2.0}`)
+	if err := gate(batches, base); err != nil {
+		t.Fatalf("met binary speedup failed: %v", err)
+	}
+	write(`{"min_onehop_qps": 100, "min_binary_batch_speedup": 4.0}`)
+	if err := gate(batches, base); err == nil {
+		t.Fatal("missed binary speedup passed (3x < 4x)")
+	}
+	write(`{"min_onehop_qps": 100, "min_binary_batch_speedup": 2.0}`)
+	if err := gate(onehop, base); err == nil {
+		t.Fatal("binary gate passed without batch records")
+	}
+}
+
+// TestMainMulticoreAndBatchModes drives the sharded server and both
+// batch transports in process: -cores 2 must add *_multicore records
+// with the cores column, the batch modes must carry protocol/batch
+// columns, and the lenient multi-core + binary gates must pass.
+func TestMainMulticoreAndBatchModes(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_serve.json")
+	lenient := filepath.Join(dir, "lenient.json")
+	// Throughput floors lenient enough for a loaded 1-core CI box; the
+	// scaling and absolute multicore gates are exercised at their real
+	// values only on the 4-core runner.
+	if err := os.WriteFile(lenient, []byte(`{"min_onehop_qps": 10, "min_onehop_qps_multicore": 10, "min_binary_batch_speedup": 1.2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clitest.RunMain(t, main, "egoist-route",
+		"-n", "120", "-workers", "2", "-cores", "2", "-batch", "64",
+		"-bench", "-bench-duration", "100ms",
+		"-modes", "onehop,route,batchjson,batchbin",
+		"-bench-json", jsonPath, "-baseline", lenient)
+	recs, err := experiments.ReadServeJSON(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]experiments.ServeRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	for _, want := range []string{"serve_onehop", "serve_onehop_multicore", "serve_route", "serve_route_multicore", "serve_batchjson", "serve_batchbin"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("artifact missing %s record: %+v", want, recs)
+		}
+	}
+	multi := byName["serve_onehop_multicore"]
+	if multi.Cores != 2 || multi.Clients != 2 || multi.Lookups <= 0 {
+		t.Fatalf("multicore record %+v, want cores=2 clients=2", multi)
+	}
+	bj, bb := byName["serve_batchjson"], byName["serve_batchbin"]
+	if bj.Protocol != "http-json" || bb.Protocol != "tcp-binary" || bj.Batch != 64 || bb.Batch != 64 {
+		t.Fatalf("batch records missing protocol/batch columns: %+v %+v", bj, bb)
+	}
+	if bb.QPS <= bj.QPS {
+		t.Fatalf("binary batch (%.0f qps) not faster than JSON (%.0f qps)", bb.QPS, bj.QPS)
+	}
 }
 
 // TestLoadWiringValidation covers the loader in process: a saved file

@@ -12,6 +12,12 @@ import (
 //
 //   - serve_onehop / serve_route: load-generator lookup measurements;
 //     Lookups counts queries and the quantiles are per-lookup latency.
+//     The *_multicore variants are the same paths with one pinned
+//     client per server shard (Cores reports the shard count).
+//   - serve_batchjson / serve_batchbin: batched lookups through a real
+//     transport — HTTP JSON vs the length-prefixed binary protocol —
+//     with Batch pairs per request; Lookups still counts pairs and the
+//     quantiles are per-batch round-trip latency.
 //   - publish_full / publish_delta: snapshot publication cost under
 //     churn; Lookups counts publications and the quantiles are
 //     per-publication cost — a full from-scratch Compile vs the
@@ -29,6 +35,14 @@ type ServeRecord struct {
 	P50us   float64 `json:"p50_us"`
 	P90us   float64 `json:"p90_us"`
 	P99us   float64 `json:"p99_us"`
+	// Cores is the server shard count the record was measured against
+	// (0 = the pre-sharding single-shard layout).
+	Cores int `json:"cores,omitempty"`
+	// Protocol names the transport of batch records: "http-json" or
+	// "tcp-binary". Empty for in-process measurements.
+	Protocol string `json:"protocol,omitempty"`
+	// Batch is the pairs-per-request of batch records.
+	Batch int `json:"batch,omitempty"`
 }
 
 // ServeBaseline is the CI gate schema (ci/serve_baseline.json).
@@ -40,6 +54,19 @@ type ServeBaseline struct {
 	// publication's p50 cost exceeds this fraction of the full
 	// recompile's p50 on the same publication stream (0 = unchecked).
 	MaxDeltaPublishFrac float64 `json:"max_delta_publish_frac,omitempty"`
+	// MinOneHopQPSMulticore fails the serve bench when the multi-core
+	// one-hop record (pinned shard handles, Cores > 1) falls below this
+	// absolute floor (0 = unchecked).
+	MinOneHopQPSMulticore float64 `json:"min_onehop_qps_multicore,omitempty"`
+	// MinMulticoreScaling fails the serve bench when multi-core one-hop
+	// throughput is below this multiple of the single-core record from
+	// the same run (0 = unchecked).
+	MinMulticoreScaling float64 `json:"min_multicore_scaling,omitempty"`
+	// MinBinaryBatchSpeedup fails the serve bench when the binary batch
+	// protocol's throughput is below this multiple of the JSON batch
+	// protocol's, measured over the same transport shape (0 =
+	// unchecked).
+	MinBinaryBatchSpeedup float64 `json:"min_binary_batch_speedup,omitempty"`
 }
 
 // ReadServeJSON reads a BENCH_serve.json file.

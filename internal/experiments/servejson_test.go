@@ -14,6 +14,11 @@ func TestServeJSONRoundTrip(t *testing.T) {
 			Seconds: 1.5, Lookups: 10, QPS: 6.7, P50us: 700, P90us: 900, P99us: 1100},
 		{Name: "publish_delta", N: 100, K: 4, Epoch: 2, Clients: 1,
 			Seconds: 0.2, Lookups: 10, QPS: 50, P50us: 150, P90us: 200, P99us: 400},
+		{Name: "serve_onehop_multicore", N: 100, K: 4, Clients: 4,
+			Seconds: 1, Lookups: 4000, QPS: 4000, P50us: 1, P90us: 2, P99us: 3, Cores: 4},
+		{Name: "serve_batchbin", N: 100, K: 4, Clients: 1,
+			Seconds: 1, Lookups: 2560, QPS: 2560, P50us: 40, P90us: 50, P99us: 90,
+			Protocol: "tcp-binary", Batch: 256},
 	}
 	if err := WriteServeJSON(path, recs); err != nil {
 		t.Fatal(err)
@@ -22,8 +27,13 @@ func TestServeJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
-		t.Fatalf("round trip mangled records: %+v", got)
+	if len(got) != len(recs) {
+		t.Fatalf("round trip returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("round trip mangled record %d: %+v want %+v", i, got[i], recs[i])
+		}
 	}
 	if _, err := ReadServeJSON(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file read succeeded")
@@ -40,7 +50,9 @@ func TestServeJSONRoundTrip(t *testing.T) {
 func TestReadServeBaseline(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "baseline.json")
-	body := `{"min_onehop_qps": 100000, "max_delta_publish_frac": 0.25}`
+	body := `{"min_onehop_qps": 100000, "max_delta_publish_frac": 0.25,
+		"min_onehop_qps_multicore": 300000, "min_multicore_scaling": 3.0,
+		"min_binary_batch_speedup": 2.0}`
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +62,9 @@ func TestReadServeBaseline(t *testing.T) {
 	}
 	if bl.MinOneHopQPS != 100000 || bl.MaxDeltaPublishFrac != 0.25 {
 		t.Fatalf("baseline misread: %+v", bl)
+	}
+	if bl.MinOneHopQPSMulticore != 300000 || bl.MinMulticoreScaling != 3.0 || bl.MinBinaryBatchSpeedup != 2.0 {
+		t.Fatalf("multi-core/binary gates misread: %+v", bl)
 	}
 	if _, err := ReadServeBaseline(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing baseline read succeeded")

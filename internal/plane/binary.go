@@ -1,0 +1,424 @@
+package plane
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+
+	"egoist/internal/graph"
+)
+
+// The compact binary batch protocol — the production-rate alternative
+// to the JSON endpoints. One request/response exchange carries one
+// batch, answered from one shard's snapshot (one consistent epoch).
+//
+// Over raw TCP (Server.ServeBinary / DialBinary) every payload is
+// length-prefixed:
+//
+//	u32  payload length (little-endian, max 1 MiB requests)
+//	...  payload
+//
+// Over HTTP (POST /routes.bin) the payload is the request/response
+// body and the transport frames it.
+//
+// Request payload:
+//
+//	u8   mode: 0 = onehop, 1 = route
+//	u32  pair count (max 10000, the JSON batch cap)
+//	pair count × (u32 src, u32 dst)
+//
+// Response payload:
+//
+//	u8   status: 0 = batch answered, 1 = batch-level error
+//	status 1: u16 message length, message bytes — e.g. no snapshot
+//	status 0: i64 epoch, u32 result count, then per result:
+//	  u8  result status: 0 = ok, 1 = unreachable, 2 = invalid pair
+//	  f64 cost (-1 unless ok — the JSON encoding's sentinel, kept
+//	      so the two protocols answer bit-identically)
+//	  mode onehop: i32 via (-1 = direct underlay path)
+//	  mode route:  u32 path length (0 unless ok), then path × u32
+//
+// Invalid pairs are answered in-band (result status 2), exactly like
+// the JSON batch endpoint: a tallied query is a delivered result.
+const (
+	BinModeOneHop byte = 0
+	BinModeRoute  byte = 1
+
+	// Per-result statuses.
+	BinOK          byte = 0
+	BinUnreachable byte = 1
+	BinInvalidPair byte = 2
+
+	// Batch-level response statuses.
+	binRespOK  byte = 0
+	binRespErr byte = 1
+
+	// maxBinRespBytes bounds what DialBinary clients will buffer for
+	// one response (route mode paths can legitimately dwarf the
+	// request).
+	maxBinRespBytes = 64 << 20
+)
+
+// AppendBatchRequest appends the binary request payload for one batch
+// to dst and returns the extended slice. pairs holds src,dst
+// alternating (so len(pairs) must be even); the caller may reuse both
+// slices across calls.
+func AppendBatchRequest(dst []byte, mode byte, pairs []uint32) []byte {
+	dst = append(dst, mode)
+	dst = appendU32(dst, uint32(len(pairs)/2))
+	for _, v := range pairs {
+		dst = appendU32(dst, v)
+	}
+	return dst
+}
+
+// BinResult is one decoded result of a binary batch response.
+type BinResult struct {
+	Status byte
+	Cost   float64
+	Via    int32    // onehop mode: chosen relay, -1 = direct
+	Path   []uint32 // route mode: src..dst inclusive when Status == BinOK
+}
+
+// DecodeBatchResponse decodes a binary batch response payload. buf is
+// recycled (its entries' Path storage included) so a client loop that
+// feeds the previous call's results back in approaches zero
+// allocations. A batch-level error payload is returned as a non-nil
+// error carrying the server's message.
+func DecodeBatchResponse(payload []byte, mode byte, buf []BinResult) (epoch int64, results []BinResult, err error) {
+	if len(payload) < 1 {
+		return 0, nil, errors.New("plane: empty binary response")
+	}
+	if payload[0] == binRespErr {
+		if len(payload) < 3 {
+			return 0, nil, errors.New("plane: truncated binary error response")
+		}
+		n := int(binary.LittleEndian.Uint16(payload[1:3]))
+		if len(payload) < 3+n {
+			return 0, nil, errors.New("plane: truncated binary error response")
+		}
+		return 0, nil, errors.New(string(payload[3 : 3+n]))
+	}
+	if payload[0] != binRespOK || len(payload) < 13 {
+		return 0, nil, fmt.Errorf("plane: bad binary response header")
+	}
+	epoch = int64(binary.LittleEndian.Uint64(payload[1:9]))
+	count := int(binary.LittleEndian.Uint32(payload[9:13]))
+	results = buf[:0]
+	off := 13
+	for i := 0; i < count; i++ {
+		if off+9 > len(payload) {
+			return 0, nil, fmt.Errorf("plane: truncated result %d of %d", i, count)
+		}
+		var res BinResult
+		if cap(buf) > i {
+			res = buf[:cap(buf)][i] // recycle the old Path storage
+		}
+		res.Status = payload[off]
+		res.Cost = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+1 : off+9]))
+		off += 9
+		switch mode {
+		case BinModeOneHop:
+			if off+4 > len(payload) {
+				return 0, nil, fmt.Errorf("plane: truncated result %d of %d", i, count)
+			}
+			res.Via = int32(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+		case BinModeRoute:
+			if off+4 > len(payload) {
+				return 0, nil, fmt.Errorf("plane: truncated result %d of %d", i, count)
+			}
+			plen := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+			if off+4*plen > len(payload) {
+				return 0, nil, fmt.Errorf("plane: truncated path in result %d", i)
+			}
+			res.Path = res.Path[:0]
+			for p := 0; p < plen; p++ {
+				res.Path = append(res.Path, binary.LittleEndian.Uint32(payload[off+4*p:]))
+			}
+			off += 4 * plen
+		default:
+			return 0, nil, fmt.Errorf("plane: unknown binary mode %d", mode)
+		}
+		results = append(results, res)
+	}
+	if off != len(payload) {
+		return 0, nil, fmt.Errorf("plane: %d trailing bytes in binary response", len(payload)-off)
+	}
+	return epoch, results, nil
+}
+
+// AnswerBinary answers one binary batch request payload from the
+// shard's current snapshot, appending the response payload to dst
+// (pass the previous call's response[:0] to reuse storage — the answer
+// loop allocates nothing once the buffer has grown). A missing
+// snapshot is answered in-band (batch-level error payload, nil error);
+// a malformed request returns a non-nil error and appends nothing —
+// transports treat that as a protocol violation.
+func (h Shard) AnswerBinary(req, dst []byte) ([]byte, error) {
+	sh := h.sh
+	if len(req) < 5 {
+		return dst, fmt.Errorf("plane: binary request of %d bytes is shorter than its header", len(req))
+	}
+	mode := req[0]
+	if mode != BinModeOneHop && mode != BinModeRoute {
+		return dst, fmt.Errorf("plane: unknown binary mode %d (want 0 onehop or 1 route)", mode)
+	}
+	count := int(binary.LittleEndian.Uint32(req[1:5]))
+	if count > maxBatchPairs {
+		return dst, fmt.Errorf("plane: batch of %d pairs exceeds the %d cap", count, maxBatchPairs)
+	}
+	if len(req) != 5+8*count {
+		return dst, fmt.Errorf("plane: binary request length %d does not match %d pairs", len(req), count)
+	}
+	snap := sh.cur.Load()
+	if snap == nil {
+		sh.failed.Add(1)
+		return appendBinError(dst, ErrNoSnapshot.Error()), nil
+	}
+	dst = append(dst, binRespOK)
+	dst = appendU64(dst, uint64(snap.epoch))
+	dst = appendU32(dst, uint32(count))
+	n := snap.N()
+	var nOneHop, nRoute, nFail int64
+	for i := 0; i < count; i++ {
+		off := 5 + 8*i
+		src := int(binary.LittleEndian.Uint32(req[off:]))
+		dstID := int(binary.LittleEndian.Uint32(req[off+4:]))
+		if src >= n || dstID >= n {
+			nFail++
+			dst = append(dst, BinInvalidPair)
+			dst = appendF64(dst, -1)
+			if mode == BinModeOneHop {
+				dst = appendU32(dst, uint32(0xFFFFFFFF)) // via -1
+			} else {
+				dst = appendU32(dst, 0) // empty path
+			}
+			continue
+		}
+		if mode == BinModeOneHop {
+			nOneHop++
+			d := snap.OneHop(src, dstID)
+			if d.Cost < graph.Inf {
+				dst = append(dst, BinOK)
+				dst = appendF64(dst, d.Cost)
+			} else {
+				dst = append(dst, BinUnreachable)
+				dst = appendF64(dst, -1)
+			}
+			dst = appendU32(dst, uint32(int32(d.Via)))
+			continue
+		}
+		nRoute++
+		sh.hit(src)
+		if src == dstID {
+			dst = append(dst, BinOK)
+			dst = appendF64(dst, 0)
+			dst = appendU32(dst, 1)
+			dst = appendU32(dst, uint32(src))
+			continue
+		}
+		row := snap.rows.get(src)
+		if row.dist[dstID] >= graph.Inf {
+			dst = append(dst, BinUnreachable)
+			dst = appendF64(dst, -1)
+			dst = appendU32(dst, 0)
+			continue
+		}
+		dst = append(dst, BinOK)
+		dst = appendF64(dst, row.dist[dstID])
+		plenPos := len(dst)
+		dst = appendU32(dst, 0)
+		start := len(dst)
+		// Walk dst→src over the parent pointers straight into the
+		// response, then reverse the u32 run in place — the path Route
+		// builds, without its allocation.
+		for v := int32(dstID); ; v = row.parent[v] {
+			dst = appendU32(dst, uint32(v))
+			if int(v) == src {
+				break
+			}
+		}
+		plen := (len(dst) - start) / 4
+		for a, b := start, len(dst)-4; a < b; a, b = a+4, b-4 {
+			for x := 0; x < 4; x++ {
+				dst[a+x], dst[b+x] = dst[b+x], dst[a+x]
+			}
+		}
+		binary.LittleEndian.PutUint32(dst[plenPos:], uint32(plen))
+	}
+	if nOneHop > 0 {
+		sh.onehop.Add(nOneHop)
+	}
+	if nRoute > 0 {
+		sh.routes.Add(nRoute)
+	}
+	if nFail > 0 {
+		sh.failed.Add(nFail)
+	}
+	return dst, nil
+}
+
+// handleBatchBin is POST /routes.bin: the binary batch protocol over
+// an HTTP body. Batch-level conditions keep their in-band encoding
+// (status 200, error payload) so binary clients parse one shape on
+// either transport; a malformed payload is the transport's problem and
+// 400s.
+func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "plane: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err != nil {
+		http.Error(w, "plane: bad binary batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := Shard{sh: s.pick()}.AnswerBinary(req, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(resp)
+}
+
+// ServeBinary serves the length-prefixed binary batch protocol on ln
+// until Accept fails (closing the listener is the shutdown path); the
+// error that stopped the accept loop is returned. Each connection is
+// pinned to one shard, so a client keeping a connection per worker
+// gets the same contention-free layout as in-process Shard handles.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveBinaryConn(conn)
+	}
+}
+
+// serveBinaryConn answers frames on one connection until read error or
+// protocol violation. Request and response buffers are reused across
+// frames, so a steady-state connection allocates nothing per batch.
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer conn.Close()
+	h := Shard{sh: s.pick()}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var lenBuf [4]byte
+	var req, resp []byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		frameLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if frameLen > maxBatchBytes {
+			return
+		}
+		if cap(req) < frameLen {
+			req = make([]byte, frameLen)
+		}
+		req = req[:frameLen]
+		if _, err := io.ReadFull(br, req); err != nil {
+			return
+		}
+		// Leave room for the length prefix so the frame goes out in one
+		// write.
+		resp = resp[:0]
+		resp = append(resp, 0, 0, 0, 0)
+		out, err := h.AnswerBinary(req, resp)
+		if err != nil {
+			// Protocol violation: report in-band, then drop the
+			// connection — framing can no longer be trusted.
+			out = appendBinError(resp, err.Error())
+			binary.LittleEndian.PutUint32(out[:4], uint32(len(out)-4))
+			_, _ = conn.Write(out)
+			return
+		}
+		resp = out
+		binary.LittleEndian.PutUint32(resp[:4], uint32(len(resp)-4))
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// BinClient is a client connection to Server.ServeBinary: one
+// request/response exchange per Do call, buffers reused throughout.
+// Not safe for concurrent use — pin one client per worker, which also
+// pins a server shard per worker.
+type BinClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	req  []byte
+	resp []byte
+}
+
+// DialBinary connects to a Server.ServeBinary listener.
+func DialBinary(addr string) (*BinClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &BinClient{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}, nil
+}
+
+// Close closes the connection.
+func (c *BinClient) Close() error { return c.conn.Close() }
+
+// Do sends one batch (pairs holds src,dst alternating) and returns the
+// response payload, valid until the next Do. Decode it with
+// DecodeBatchResponse.
+func (c *BinClient) Do(mode byte, pairs []uint32) ([]byte, error) {
+	c.req = append(c.req[:0], 0, 0, 0, 0)
+	c.req = AppendBatchRequest(c.req, mode, pairs)
+	binary.LittleEndian.PutUint32(c.req[:4], uint32(len(c.req)-4))
+	if _, err := c.conn.Write(c.req); err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	respLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if respLen > maxBinRespBytes {
+		return nil, fmt.Errorf("plane: %d-byte binary response exceeds the %d cap", respLen, maxBinRespBytes)
+	}
+	if cap(c.resp) < respLen {
+		c.resp = make([]byte, respLen)
+	}
+	c.resp = c.resp[:respLen]
+	if _, err := io.ReadFull(c.br, c.resp); err != nil {
+		return nil, err
+	}
+	return c.resp, nil
+}
+
+// appendBinError appends a batch-level error response payload.
+func appendBinError(dst []byte, msg string) []byte {
+	if len(msg) > 0xFFFF {
+		msg = msg[:0xFFFF]
+	}
+	dst = append(dst, binRespErr)
+	dst = append(dst, byte(len(msg)), byte(len(msg)>>8))
+	return append(dst, msg...)
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}

@@ -1,0 +1,251 @@
+package plane
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"egoist/internal/graph"
+)
+
+// binPairs builds the test batch: valid pairs, a src==dst pair, and an
+// out-of-range pair (answered in-band, status 2).
+func binPairs(n int) []uint32 {
+	return []uint32{
+		0, uint32(n - 1),
+		5, 7,
+		9, 9,
+		3, 0,
+		uint32(n + 100), 2, // invalid src
+		4, uint32(n + 5), // invalid dst
+	}
+}
+
+// TestBinaryMatchesSnapshotAnswers: every binary result must carry
+// exactly what the direct Snapshot API answers — costs bit-identical,
+// paths element-identical, invalid pairs in-band with status 2 and the
+// JSON -1 cost sentinel.
+func TestBinaryMatchesSnapshotAnswers(t *testing.T) {
+	srv, snap := testServer(t, 60, 4)
+	h := srv.Shard(0)
+	n := snap.N()
+	pairs := binPairs(n)
+
+	for _, mode := range []byte{BinModeOneHop, BinModeRoute} {
+		resp, err := h.AnswerBinary(AppendBatchRequest(nil, mode, pairs), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epoch, results, err := DecodeBatchResponse(resp, mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != snap.Epoch() {
+			t.Fatalf("mode %d: epoch %d, want %d", mode, epoch, snap.Epoch())
+		}
+		if len(results) != len(pairs)/2 {
+			t.Fatalf("mode %d: %d results for %d pairs", mode, len(results), len(pairs)/2)
+		}
+		for i, res := range results {
+			src, dst := int(pairs[2*i]), int(pairs[2*i+1])
+			if src >= n || dst >= n {
+				if res.Status != BinInvalidPair || res.Cost != -1 {
+					t.Fatalf("mode %d pair %d: invalid pair answered status=%d cost=%v, want status 2 cost -1", mode, i, res.Status, res.Cost)
+				}
+				continue
+			}
+			switch mode {
+			case BinModeOneHop:
+				d := snap.OneHop(src, dst)
+				if d.Cost < graph.Inf {
+					if res.Status != BinOK || res.Cost != d.Cost || int(res.Via) != d.Via {
+						t.Fatalf("onehop pair %d: got (%d, %v, via %d), snapshot says (%v, via %d)", i, res.Status, res.Cost, res.Via, d.Cost, d.Via)
+					}
+				} else if res.Status != BinUnreachable || res.Cost != -1 {
+					t.Fatalf("onehop pair %d: unreachable answered status=%d cost=%v", i, res.Status, res.Cost)
+				}
+			case BinModeRoute:
+				r, ok := snap.Route(src, dst)
+				if !ok {
+					if res.Status != BinUnreachable || res.Cost != -1 || len(res.Path) != 0 {
+						t.Fatalf("route pair %d: unreachable answered status=%d cost=%v path=%v", i, res.Status, res.Cost, res.Path)
+					}
+					continue
+				}
+				if res.Status != BinOK || res.Cost != r.Cost {
+					t.Fatalf("route pair %d: got (%d, %v), snapshot says %v", i, res.Status, res.Cost, r.Cost)
+				}
+				if len(res.Path) != len(r.Path) {
+					t.Fatalf("route pair %d: path %v, snapshot says %v", i, res.Path, r.Path)
+				}
+				for p := range r.Path {
+					if int(res.Path[p]) != r.Path[p] {
+						t.Fatalf("route pair %d: path %v, snapshot says %v", i, res.Path, r.Path)
+					}
+				}
+			}
+		}
+	}
+
+	// Counter contract across both batches: onehop tallied only for the
+	// 4 delivered one-hop results, routes for the 4 delivered route
+	// results, failed for the 2 invalid pairs in each batch.
+	onehop, routes, failed := srv.Stats()
+	if onehop != 4 || routes != 4 || failed != 4 {
+		t.Fatalf("Stats() = (%d, %d, %d), want (4, 4, 4)", onehop, routes, failed)
+	}
+}
+
+// TestBinaryDecodeRecyclesBuffers: feeding the previous results slice
+// back into DecodeBatchResponse must reuse its Path storage.
+func TestBinaryDecodeRecyclesBuffers(t *testing.T) {
+	srv, snap := testServer(t, 60, 4)
+	h := srv.Shard(0)
+	req := AppendBatchRequest(nil, BinModeRoute, []uint32{0, uint32(snap.N() - 1)})
+	resp, err := h.AnswerBinary(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, results, err := DecodeBatchResponse(resp, BinModeRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Status != BinOK || len(results[0].Path) == 0 {
+		t.Fatalf("unexpected first decode: %+v", results)
+	}
+	before := &results[0].Path[0]
+	_, results2, err := DecodeBatchResponse(resp, BinModeRoute, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &results2[0].Path[0] != before {
+		t.Fatal("second decode reallocated the Path storage instead of recycling it")
+	}
+}
+
+// TestBinaryMalformedRequests: short frames, bad modes, and
+// count/length mismatches are protocol violations (non-nil error, no
+// bytes appended), never panics or silent misparses.
+func TestBinaryMalformedRequests(t *testing.T) {
+	srv, _ := testServer(t, 20, 3)
+	h := srv.Shard(0)
+	bad := [][]byte{
+		{},                 // empty
+		{0, 1, 0},          // shorter than the header
+		{9, 0, 0, 0, 0},    // unknown mode
+		{0, 2, 0, 0, 0},    // count 2, no pairs
+		{1, 1, 0, 0, 0, 1}, // truncated pair
+		AppendBatchRequest(nil, 0, make([]uint32, 2*(maxBatchPairs+1))), // over cap
+	}
+	for i, req := range bad {
+		out, err := h.AnswerBinary(req, nil)
+		if err == nil {
+			t.Fatalf("malformed request %d was answered", i)
+		}
+		if len(out) != 0 {
+			t.Fatalf("malformed request %d appended %d bytes alongside the error", i, len(out))
+		}
+	}
+	// Before the first publish: in-band batch-level error, nil error.
+	empty := NewServerShards(2).Shard(0)
+	resp, err := empty.AnswerBinary(AppendBatchRequest(nil, BinModeOneHop, []uint32{0, 1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, derr := DecodeBatchResponse(resp, BinModeOneHop, nil); derr == nil || derr.Error() != ErrNoSnapshot.Error() {
+		t.Fatalf("no-snapshot batch decoded to %v, want in-band %q", derr, ErrNoSnapshot)
+	}
+}
+
+// TestBinaryTCPRoundTrip: the length-prefixed TCP transport end to end
+// — ServeBinary + DialBinary — answers identically to the in-process
+// shard API, across multiple frames on one connection.
+func TestBinaryTCPRoundTrip(t *testing.T) {
+	srv, snap := testServer(t, 60, 4)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.ServeBinary(ln)
+
+	client, err := DialBinary(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	n := snap.N()
+	pairs := binPairs(n)
+	rng := rand.New(rand.NewSource(9))
+	var results []BinResult
+	for frame := 0; frame < 20; frame++ {
+		mode := byte(frame % 2)
+		resp, err := client.Do(mode, pairs)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		epoch, rs, err := DecodeBatchResponse(resp, mode, results)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		results = rs
+		if epoch != snap.Epoch() || len(rs) != len(pairs)/2 {
+			t.Fatalf("frame %d: epoch %d, %d results", frame, epoch, len(rs))
+		}
+		src, dst := int(pairs[0]), int(pairs[1])
+		if mode == BinModeOneHop && rs[0].Status == BinOK {
+			if want := snap.OneHop(src, dst); rs[0].Cost != want.Cost {
+				t.Fatalf("frame %d: pair (%d,%d) cost %v, snapshot says %v", frame, src, dst, rs[0].Cost, want.Cost)
+			}
+		}
+		pairs[0], pairs[1] = uint32(rng.Intn(n)), uint32(rng.Intn(n))
+	}
+}
+
+// TestBinaryHTTPRoundTrip: the same payloads over POST /routes.bin.
+func TestBinaryHTTPRoundTrip(t *testing.T) {
+	srv, snap := testServer(t, 60, 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := snap.N()
+	req := AppendBatchRequest(nil, BinModeRoute, binPairs(n))
+	resp, err := http.Post(ts.URL+"/routes.bin", "application/octet-stream", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, results, err := DecodeBatchResponse(payload, BinModeRoute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != snap.Epoch() || len(results) != len(binPairs(n))/2 {
+		t.Fatalf("epoch %d, %d results", epoch, len(results))
+	}
+	want, _ := snap.Route(0, n-1)
+	if results[0].Status != BinOK || results[0].Cost != want.Cost {
+		t.Fatalf("result 0 = %+v, snapshot says cost %v", results[0], want.Cost)
+	}
+
+	// Malformed body → 400 (transport problem, not an in-band error).
+	bad, err := http.Post(ts.URL+"/routes.bin", "application/octet-stream", bytes.NewReader([]byte{9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed binary body answered %d, want 400", bad.StatusCode)
+	}
+}

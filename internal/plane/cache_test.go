@@ -1,0 +1,243 @@
+package plane
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// cacheSnapshot compiles a small snapshot with a row-cache cap low
+// enough that the tests below can push it over.
+func cacheSnapshot(t *testing.T, n, capRows int) *Snapshot {
+	t.Helper()
+	wiring := randomWiring(n, 4, rand.New(rand.NewSource(31)))
+	return Compile(0, wiring, nil, testNet(t, n), Options{RouteCacheRows: capRows})
+}
+
+// TestRowCacheOverCapBound pins the documented transient over-cap
+// bound: under G concurrent distinct-source misses the cache may hold
+// up to cap+G entries (in-flight rows are never evicted), but once the
+// misses resolve and one more get runs eviction, the population is
+// back at cap.
+func TestRowCacheOverCapBound(t *testing.T) {
+	const n, capRows, g = 120, 8, 16
+	snap := cacheSnapshot(t, n, capRows)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for src := w; src < n; src += g {
+				snap.rows.get(src)
+				if got := snap.rows.size(); got > capRows+g {
+					t.Errorf("cache grew to %d entries, over-cap bound is cap+G = %d", got, capRows+g)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	// One more miss runs evictLocked with nothing in flight: the
+	// steady-state population is the cap again (+1 transiently for the
+	// in-flight row itself, which resolves before get returns... and is
+	// then evictable, so bound at cap+1).
+	snap.rows.get(0)
+	if got := snap.rows.size(); got > capRows+1 {
+		t.Fatalf("cache holds %d entries after misses drained, want <= cap+1 = %d", got, capRows+1)
+	}
+}
+
+// TestCarryIntoPreservesLRUOrder: carrying rows into a fresh cache must
+// keep their recency order, or the first evictions in the new epoch
+// would drop the hottest rows. Touch order in the source cache is
+// 0..9 with 3 re-touched last; after two carries and an over-cap burst
+// in the destination, 3 must still be resident and 4 (the coldest
+// survivor boundary) evicted first.
+func TestCarryIntoPreservesLRUOrder(t *testing.T) {
+	const n = 60
+	snap := cacheSnapshot(t, n, 32)
+	for src := 0; src < 10; src++ {
+		snap.rows.get(src)
+	}
+	snap.rows.get(3) // most recent
+
+	keepAll := func(int, []float64, []int32) bool { return true }
+
+	// Carry twice: order must survive chained carries (Patch chains do
+	// exactly this every epoch).
+	mid := newRowCache(snap, 32)
+	snap.rows.carryInto(mid, keepAll)
+	dst := newRowCache(snap, 10)
+	mid.carryInto(dst, keepAll)
+
+	if dst.size() != 10 {
+		t.Fatalf("carried %d rows, want 10", dst.size())
+	}
+	// Expected recency, most recent first: 3, 9, 8, 7, 6, 5, 4, 2, 1, 0.
+	want := []int{3, 9, 8, 7, 6, 5, 4, 2, 1, 0}
+	i := 0
+	dst.mu.Lock()
+	for e := dst.head; e != nil; e = e.next {
+		if i >= len(want) || e.src != want[i] {
+			dst.mu.Unlock()
+			t.Fatalf("LRU position %d holds src %d, want %d", i, e.src, want[i])
+		}
+		i++
+	}
+	dst.mu.Unlock()
+
+	// Seed one more row into the full cache: the coldest carried row
+	// (src 0) must be the one evicted.
+	dst.seed(50, make([]float64, n), make([]int32, n))
+	dst.mu.Lock()
+	_, kept3 := dst.entries[3]
+	_, kept0 := dst.entries[0]
+	dst.mu.Unlock()
+	if !kept3 || kept0 {
+		t.Fatalf("after over-cap seed: src 3 resident=%v (want true), src 0 resident=%v (want false)", kept3, kept0)
+	}
+}
+
+// TestEvictionSkipsInFlightRows: an entry whose Dijkstra is still
+// running must never be evicted — its waiters hold the entry and would
+// otherwise block forever on a row the cache no longer owns. The test
+// constructs in-flight entries by hand (open done channels) and drives
+// eviction past them.
+func TestEvictionSkipsInFlightRows(t *testing.T) {
+	const n = 40
+	snap := cacheSnapshot(t, n, 2)
+	c := snap.rows
+
+	// Two in-flight entries at the LRU tail.
+	c.mu.Lock()
+	for src := 30; src < 32; src++ {
+		e := &rowEntry{src: src, done: make(chan struct{})}
+		c.entries[src] = e
+		c.pushFront(e)
+	}
+	c.mu.Unlock()
+
+	// Computed rows push the population far over cap; every eviction
+	// pass walks the tail, where the in-flight entries sit.
+	for src := 0; src < 8; src++ {
+		c.get(src)
+	}
+
+	c.mu.Lock()
+	for src := 30; src < 32; src++ {
+		if _, ok := c.entries[src]; !ok {
+			c.mu.Unlock()
+			t.Fatalf("in-flight row %d was evicted", src)
+		}
+	}
+	inFlight := 2
+	if len(c.entries) > c.cap+inFlight {
+		c.mu.Unlock()
+		t.Fatalf("cache holds %d entries, want <= cap+inflight = %d", len(c.entries), c.cap+inFlight)
+	}
+	c.mu.Unlock()
+
+	// Resolve them; the next get may now evict them like any row.
+	c.mu.Lock()
+	for src := 30; src < 32; src++ {
+		e := c.entries[src]
+		e.dist = make([]float64, n)
+		e.parent = make([]int32, n)
+		c.ready++
+		close(e.done)
+	}
+	c.mu.Unlock()
+	c.get(9)
+	if got := c.size(); got > c.cap+1 {
+		t.Fatalf("cache holds %d entries after rows resolved, want <= cap+1 = %d", got, c.cap+1)
+	}
+}
+
+// TestShardViewsShareRowStorage: the per-shard caches of a sharded
+// server are views — a row computed in the base snapshot is seeded into
+// every shard by reference, not copied, and answers through a view are
+// identical to the base snapshot's.
+func TestShardViewsShareRowStorage(t *testing.T) {
+	const n = 80
+	snap := cacheSnapshot(t, n, 32)
+	baseRow := snap.rows.get(5)
+
+	srv := NewServerShards(4)
+	srv.Publish(snap)
+	for i := 0; i < 4; i++ {
+		view := srv.Shard(i).Current()
+		if view == snap {
+			t.Fatalf("shard %d serves the base snapshot, want a private view", i)
+		}
+		row := view.rows.get(5)
+		if &row.dist[0] != &baseRow.dist[0] {
+			t.Fatalf("shard %d copied row 5 instead of sharing it", i)
+		}
+		for dst := 0; dst < n; dst++ {
+			want := snap.RouteCost(5, dst)
+			if got := view.RouteCost(5, dst); got != want {
+				t.Fatalf("shard %d RouteCost(5,%d) = %v, base says %v", i, dst, got, want)
+			}
+		}
+	}
+	// Misses in one view must not leak into the others.
+	srv.Shard(0).Current().rows.get(17)
+	view1 := srv.Shard(1).Current()
+	view1.mustPair(17, 0)
+	view1.rows.mu.Lock()
+	_, leaked := view1.rows.entries[17]
+	view1.rows.mu.Unlock()
+	if leaked {
+		t.Fatal("a miss in shard 0's cache appeared in shard 1's")
+	}
+}
+
+// TestPublishWarmsHotRows: per-source route-query counters drive the
+// publish-time precompute — after re-publishing, the top-K queried
+// sources are resident in every shard's cache before any query runs.
+func TestPublishWarmsHotRows(t *testing.T) {
+	const n = 80
+	snap := cacheSnapshot(t, n, 64)
+	srv := NewServerShards(2)
+	srv.SetHotRows(4)
+	srv.Publish(snap)
+
+	// Query sources 10..15 through shard handles with a skew: 10 and 11
+	// hottest.
+	for i, src := range []int{10, 10, 10, 11, 11, 12, 13, 14, 15} {
+		if _, _, err := srv.Shard(i%2).RouteCost(src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next := Compile(1, randomWiring(n, 4, rand.New(rand.NewSource(31))), nil, testNet(t, n), Options{})
+	srv.Publish(next)
+
+	for i := 0; i < 2; i++ {
+		view := srv.Shard(i).Current()
+		view.rows.mu.Lock()
+		resident := len(view.rows.entries)
+		_, hot10 := view.rows.entries[10]
+		_, hot11 := view.rows.entries[11]
+		view.rows.mu.Unlock()
+		if !hot10 || !hot11 {
+			t.Fatalf("shard %d: hottest sources resident = (10:%v, 11:%v), want both", i, hot10, hot11)
+		}
+		if resident != 4 {
+			t.Fatalf("shard %d holds %d precomputed rows, want hot-row budget 4", i, resident)
+		}
+	}
+
+	// Warmed rows answer identically to cold computation.
+	cold := Compile(1, randomWiring(n, 4, rand.New(rand.NewSource(31))), nil, testNet(t, n), Options{})
+	for dst := 0; dst < n; dst++ {
+		want := cold.RouteCost(10, dst)
+		if got := srv.Shard(0).Current().RouteCost(10, dst); got != want {
+			t.Fatalf("warmed RouteCost(10,%d) = %v, cold compile says %v", dst, got, want)
+		}
+	}
+}

@@ -167,3 +167,101 @@ func TestSnapshotMatchesEngineWiring(t *testing.T) {
 		t.Fatal("no cross-checks ran")
 	}
 }
+
+// digestServed fingerprints decisions as served — through Shard
+// handles, exercising the per-shard caches, counters, and the
+// publish-time hot-row precompute — rather than through the snapshot
+// API. Queries spread across handles (Shard wraps mod the shard
+// count), so any cross-shard divergence lands in the hash.
+func digestServed(t *testing.T, epoch int, srv *Server) epochDigest {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	n := srv.Current().N()
+	w64(uint64(n))
+	rng := rand.New(rand.NewSource(int64(epoch) + 7))
+	var path []int32
+	for q := 0; q < 200; q++ {
+		sh := srv.Shard(q)
+		src, dst := rng.Intn(n), rng.Intn(n)
+		d, epoch1, err := sh.OneHop(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w64(uint64(int64(d.Via)))
+		w64(math.Float64bits(d.Cost))
+		var cost float64
+		var ok bool
+		path, cost, ok, err = sh.AppendRoute(src, dst, path[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			w64(math.Float64bits(cost))
+			for _, v := range path {
+				w64(uint64(v))
+			}
+		} else {
+			w64(^uint64(0))
+		}
+		rc, epoch2, err := sh.RouteCost(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w64(math.Float64bits(rc))
+		if epoch1 != epoch2 {
+			t.Fatalf("epochs diverged within one digest: %d vs %d", epoch1, epoch2)
+		}
+	}
+	return epochDigest{epoch: epoch, hash: h.Sum64()}
+}
+
+// TestServedIdenticalAcrossShardsAndWorkers is the ISSUE 9 acceptance
+// gate: decisions served by the sharded server are byte-identical to
+// the single-shard server's, across engine workers {1,4} × server
+// shards {1,4}, with the hot-row precompute active (the route queries
+// the digest issues feed the counters that seed the next epoch's
+// warming — which must never change an answer, only its cost).
+func TestServedIdenticalAcrossShardsAndWorkers(t *testing.T) {
+	combos := [][2]int{{1, 1}, {1, 4}, {4, 1}, {4, 4}}
+	if raceEnabled {
+		combos = [][2]int{{1, 1}, {4, 4}} // trim the race run; the full grid runs in the normal pass
+	}
+	run := func(workers, shards int) []epochDigest {
+		net, err := underlay.NewLite(150, 23+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerShards(shards)
+		var digests []epochDigest
+		cfg := churnScaleConfig(workers, func(epoch int, wiring [][]int, active []bool) {
+			srv.Publish(Compile(int64(epoch), wiring, active, net, Options{}))
+			digests = append(digests, digestServed(t, epoch, srv))
+		})
+		if _, err := sim.RunScale(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return digests
+	}
+	ref := run(combos[0][0], combos[0][1])
+	if len(ref) < 2 {
+		t.Fatalf("published only %d epochs", len(ref))
+	}
+	for _, c := range combos[1:] {
+		got := run(c[0], c[1])
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d shards=%d: published %d vs %d epochs", c[0], c[1], len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d shards=%d epoch %d: served digest %x, reference %x", c[0], c[1], got[i].epoch, got[i].hash, ref[i].hash)
+			}
+		}
+	}
+}

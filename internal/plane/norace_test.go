@@ -1,0 +1,5 @@
+//go:build !race
+
+package plane
+
+const raceEnabled = false

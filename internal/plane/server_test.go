@@ -215,3 +215,197 @@ func TestServerSwapUnderLoad(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestServerBatchInvalidPairsInBand pins the ISSUE 9 counter bugfix:
+// one bad pair must not abort a batch — it is answered in its slot with
+// ok=false and an error, while the valid pairs around it are delivered
+// and tallied. A tallied onehop/routes query is a delivered result.
+func TestServerBatchInvalidPairsInBand(t *testing.T) {
+	srv, snap := testServer(t, 40, 3)
+	h := srv.Handler()
+	body := `{"mode":"onehop","pairs":[[0,5],[1,999],[7,7],[-3,2],[1,30]]}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/routes", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("%d results, want all 5 pairs answered", len(resp.Results))
+	}
+	for i, res := range resp.Results {
+		invalid := i == 1 || i == 3
+		if invalid {
+			if res.Ok || res.Error == "" || res.Cost != -1 {
+				t.Fatalf("invalid pair %d answered %+v, want ok=false + error + cost -1", i, res)
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Fatalf("valid pair %d carries error %q", i, res.Error)
+		}
+		if want := snap.OneHop(res.Src, res.Dst); res.Cost != want.Cost {
+			t.Fatalf("valid pair %d cost %v, want %v", i, res.Cost, want.Cost)
+		}
+	}
+	// Counter contract: 3 delivered one-hop answers, 2 failed pairs.
+	onehop, routes, failed := srv.Stats()
+	if onehop != 3 || routes != 0 || failed != 2 {
+		t.Fatalf("Stats() = (%d, %d, %d), want (3, 0, 2)", onehop, routes, failed)
+	}
+
+	// An unknown batch mode is still a whole-request 400 (there is
+	// nothing per-pair to answer).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/routes", strings.NewReader(`{"mode":"warp","pairs":[[0,1]]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", rec.Code)
+	}
+}
+
+// TestWriteJSONEncodesBeforeWriting pins the writeJSON bugfix: an
+// unencodable value must produce a clean 500, not a 200 header followed
+// by a truncated body.
+func TestWriteJSONEncodesBeforeWriting(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]interface{}{"oops": func() {}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("unencodable value answered %d, want 500", rec.Code)
+	}
+	if strings.Contains(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatal("error response still claims application/json")
+	}
+	rec = httptest.NewRecorder()
+	writeJSON(rec, map[string]int{"n": 1})
+	if rec.Code != http.StatusOK || rec.Body.String() != "{\"n\":1}\n" {
+		t.Fatalf("good value answered %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestServerSharded drives the multi-shard configuration: handles are
+// pinned, unpinned calls round-robin, stats aggregate across shards,
+// and /snapshot reports the shard count.
+func TestServerSharded(t *testing.T) {
+	const n, k, shards = 40, 3, 4
+	net := testNet(t, n)
+	wiring := randomWiring(n, k, rand.New(rand.NewSource(21)))
+	srv := NewServerShards(shards)
+	if srv.Shards() != shards {
+		t.Fatalf("Shards() = %d", srv.Shards())
+	}
+	srv.Publish(Compile(0, wiring, nil, net, Options{}))
+
+	single := Compile(0, wiring, nil, net, Options{})
+	for i := 0; i < shards; i++ {
+		h := srv.Shard(i)
+		for src := 0; src < n; src += 7 {
+			d, _, err := h.OneHop(src, (src+11)%n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := single.OneHop(src, (src+11)%n); d != want {
+				t.Fatalf("shard %d OneHop(%d,%d) = %+v, want %+v", i, src, (src+11)%n, d, want)
+			}
+		}
+	}
+	// Shard handles wrap: Shard(shards) is Shard(0), negatives clamp.
+	if srv.Shard(shards).sh != srv.Shard(0).sh || srv.Shard(-1).sh != srv.Shard(0).sh {
+		t.Fatal("shard handle indexing broken")
+	}
+	// Unpinned calls spread round-robin; stats sum across shards.
+	for q := 0; q < 4*shards; q++ {
+		if _, _, err := srv.OneHop(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perShard := make([]int64, shards)
+	var total int64
+	for i := 0; i < shards; i++ {
+		perShard[i] = srv.shards[i].onehop.Load()
+		total += perShard[i]
+	}
+	onehop, _, _ := srv.Stats()
+	if onehop != total {
+		t.Fatalf("Stats onehop %d, shard sum %d", onehop, total)
+	}
+	for i, c := range perShard {
+		if c == 0 {
+			t.Fatalf("shard %d served nothing — round-robin not spreading (%v)", i, perShard)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/snapshot", nil))
+	var info map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if int(info["shards"].(float64)) != shards {
+		t.Fatalf("/snapshot shards = %v, want %d", info["shards"], shards)
+	}
+}
+
+// TestServerShardedSwapUnderLoad is TestServerSwapUnderLoad with
+// pinned shard handles: publishes race readers on every shard, epochs
+// stay monotonic per handle, answers stay consistent.
+func TestServerShardedSwapUnderLoad(t *testing.T) {
+	const n, k, epochs, shards = 60, 3, 20, 4
+	net := testNet(t, n)
+	srv := NewServerShards(shards)
+	srv.Publish(Compile(0, randomWiring(n, k, rand.New(rand.NewSource(100))), nil, net, Options{}))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := srv.Shard(w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			lastEpoch := int64(-1)
+			var buf []int32
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := rng.Intn(n), rng.Intn(n)
+				d, epoch, err := h.OneHop(src, dst)
+				if err != nil {
+					t.Errorf("onehop: %v", err)
+					return
+				}
+				if epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", epoch, lastEpoch)
+					return
+				}
+				lastEpoch = epoch
+				if src != dst && d.Cost <= 0 {
+					t.Errorf("degenerate decision %+v", d)
+					return
+				}
+				path, cost, ok, err := h.AppendRoute(src, dst, buf)
+				if err != nil {
+					t.Errorf("append route: %v", err)
+					return
+				}
+				if ok && len(path) > 0 && (int(path[0]) != src || int(path[len(path)-1]) != dst) {
+					t.Errorf("path %v does not run %d->%d", path, src, dst)
+				}
+				if ok && src != dst && cost <= 0 {
+					t.Errorf("degenerate route cost %v", cost)
+				}
+				buf = path[:0]
+			}
+		}(w)
+	}
+	for e := 1; e <= epochs; e++ {
+		srv.Publish(Compile(int64(e), randomWiring(n, k, rand.New(rand.NewSource(int64(100+e)))), nil, net, Options{}))
+	}
+	close(stop)
+	wg.Wait()
+}

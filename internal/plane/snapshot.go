@@ -27,6 +27,9 @@ package plane
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"egoist/internal/graph"
 )
@@ -251,6 +254,85 @@ func (s *Snapshot) RouteCost(src, dst int) float64 {
 		return 0
 	}
 	return s.rows.get(src).dist[dst]
+}
+
+// RouteInto is Route with caller-owned path storage: the path is
+// appended to buf (pass the previous call's path[:0] to reuse its
+// backing array), so a serving loop that recycles its buffer runs the
+// cache-warm route path without allocating. ok=false means dst is not
+// overlay-reachable (cost +Inf, empty path) — note Route returns a
+// zero cost there; RouteInto reports the row's actual +Inf.
+func (s *Snapshot) RouteInto(src, dst int, buf []int32) (path []int32, cost float64, ok bool) {
+	s.mustPair(src, dst)
+	path = buf[:0]
+	if src == dst {
+		return append(path, int32(src)), 0, true
+	}
+	row := s.rows.get(src)
+	if row.dist[dst] >= graph.Inf {
+		return path, graph.Inf, false
+	}
+	// Walk dst→src over the parent pointers, then reverse in place —
+	// the same route PathTo32 builds, without its allocation.
+	for v := int32(dst); ; v = row.parent[v] {
+		path = append(path, v)
+		if int(v) == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, row.dist[dst], true
+}
+
+// warmRows pre-computes (or re-uses) the shortest-path rows of srcs in
+// parallel — the publish-time hot-row precompute. Row contents are
+// identical to lazy computation (DijkstraCSR is deterministic), so
+// warming never changes an answer, only when its cost is paid.
+func (s *Snapshot) warmRows(srcs []int) {
+	if len(srcs) == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 {
+		for _, src := range srcs {
+			s.rows.get(src)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(srcs) {
+					return
+				}
+				s.rows.get(srcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardView returns a serving view of s for one server shard: the same
+// immutable topology (CSR, liveness, delay oracle — shared pointers)
+// behind a private row cache, seeded with every row s has computed so
+// far, shared by reference in s's LRU order. Views of different shards
+// therefore answer identically and start equally warm, but their cache
+// mutexes and LRU state never contend.
+func (s *Snapshot) shardView() *Snapshot {
+	view := &Snapshot{epoch: s.epoch, csr: s.csr, net: s.net, live: s.live, nLive: s.nLive}
+	view.rows = newRowCache(view, s.rows.cap)
+	s.rows.carryInto(view.rows, func(int, []float64, []int32) bool { return true })
+	return view
 }
 
 // checkPair validates a query's node ids.
