@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"egoist/internal/experiments"
+	"egoist/internal/obs"
 	"egoist/internal/sampling"
 	"egoist/internal/scenario"
 	"egoist/internal/sim"
@@ -115,8 +116,9 @@ func writeSVG(dir string, fig *experiments.Figure) error {
 }
 
 // runScaleSize executes one large-scale convergence run and returns
-// its benchmark record plus whether the run converged.
-func runScaleSize(n int, sampleSpec string, epochs, k, workers, shards int) (experiments.BenchRecord, bool, error) {
+// its benchmark record plus whether the run converged. A non-empty
+// tracePath streams every engine phase event as one JSON line.
+func runScaleSize(n int, sampleSpec string, epochs, k, workers, shards int, tracePath string) (experiments.BenchRecord, bool, error) {
 	spec, err := sampling.ParseSpec(sampleSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "egoist-bench: %v\n", err)
@@ -131,6 +133,19 @@ func runScaleSize(n int, sampleSpec string, epochs, k, workers, shards int) (exp
 	cfg := sim.ScaleConfig{
 		N: n, K: k, Seed: 2008, Sample: spec,
 		MaxEpochs: epochs, Workers: workers, Shards: shards,
+	}
+	if tracePath != "" {
+		tw, err := obs.OpenTrace(tracePath)
+		if err != nil {
+			return experiments.BenchRecord{}, false, err
+		}
+		defer tw.Close()
+		cfg.OnPhase = func(ev sim.PhaseEvent) {
+			if err := tw.Emit(ev); err != nil {
+				fmt.Fprintf(os.Stderr, "egoist-bench: trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	start := time.Now()
 	res, rec, err := experiments.MeasureScale(cfg)
@@ -151,8 +166,8 @@ func runScaleSize(n int, sampleSpec string, epochs, k, workers, shards int) (exp
 
 // runScaleMode executes one large-scale convergence run and optionally
 // writes its BENCH_scale.json record.
-func runScaleMode(n int, sampleSpec string, epochs, k, workers, shards int, benchJSON string) {
-	rec, _, err := runScaleSize(n, sampleSpec, epochs, k, workers, shards)
+func runScaleMode(n int, sampleSpec string, epochs, k, workers, shards int, benchJSON, tracePath string) {
+	rec, _, err := runScaleSize(n, sampleSpec, epochs, k, workers, shards, tracePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "egoist-bench: scale run: %v\n", err)
 		os.Exit(1)
@@ -199,7 +214,7 @@ func runScaleSweep(sizesCSV string, epochs, k, workers, shards int, benchJSON st
 		if m < kk+2 {
 			m = kk + 2
 		}
-		rec, converged, err := runScaleSize(n, fmt.Sprintf("demand:%d", m), epochs, k, workers, shards)
+		rec, converged, err := runScaleSize(n, fmt.Sprintf("demand:%d", m), epochs, k, workers, shards, "")
 		if err == nil && !converged {
 			err = fmt.Errorf("n=%d did not converge in %d epochs", n, rec.N)
 		}
@@ -232,6 +247,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard count for the scale engine's directory and proposal phase (0 = 1 for -scale runs, spec value for scenarios; results are byte-identical for any value)")
 		scaleSwp  = flag.String("scale-sweep", "", "comma-separated overlay sizes (e.g. 10000,30000,100000): run the large-scale engine once per size, ascending, and write one BENCH record each")
 		benchJSON = flag.String("bench-json", "", "write BENCH_scale.json-style records to this path (scale runs and -fig scale)")
+		traceOut  = flag.String("trace", "", "stream engine phase events (propose/adopt/churn/publish timings) as JSONL to this path during a -scale <n> run")
 		scenOne   = flag.String("scenario", "", "run one declarative scenario: a built-in name (see internal/scenario) or a spec file")
 		scenDir   = flag.String("scenarios", "", "run every *.json scenario spec in this directory as a matrix across -engines")
 		enginesF  = flag.String("engines", "scale", "comma-separated engines for scenario runs: scale,full (specs with an explicit engine ignore this)")
@@ -273,7 +289,7 @@ func main() {
 	}
 
 	if n, err := parsePositiveInt(*scale); err == nil {
-		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *shards, *benchJSON)
+		runScaleMode(n, *sample, *epochs, *kFlag, *workers, *shards, *benchJSON, *traceOut)
 		return
 	}
 

@@ -33,6 +33,7 @@ func main() {
 		bound   = flag.Float64("bound", 0.10, "relative final-cost gap gate vs the sim leg")
 		bin     = flag.String("bin", "", "egoistd binary to deploy (required)")
 		jsonOut = flag.String("json", "", "write the metrics record (BENCH_lab.json) here")
+		metrics = flag.String("metrics-json", "", "write the fleet /metrics scrape timeline (BENCH_lab_metrics.json) here")
 		workers = flag.Int("workers", 0, "sim-leg parallelism (0 = NumCPU)")
 		dir     = flag.String("dir", "", "keep per-node logs and announce files here (default: temp dir, removed on success)")
 		verbose = flag.Bool("v", true, "log deployment progress")
@@ -63,7 +64,7 @@ func main() {
 	}
 	m, err := scenario.RunLab(spec, scenario.LabOptions{
 		Bin: *bin, N: *n, Epoch: *epoch, Bound: *bound,
-		Workers: *workers, Dir: *dir, Logf: logf,
+		Workers: *workers, Dir: *dir, MetricsJSON: *metrics, Logf: logf,
 	})
 	if m != nil && *jsonOut != "" {
 		if werr := scenario.WriteMetricsJSON(*jsonOut, []*scenario.Metrics{m}); werr != nil {

@@ -24,7 +24,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -38,6 +37,7 @@ import (
 
 	"egoist/internal/churn"
 	"egoist/internal/experiments"
+	"egoist/internal/obs"
 	"egoist/internal/plane"
 	"egoist/internal/sampling"
 	"egoist/internal/sim"
@@ -62,26 +62,27 @@ type ServeRecord = experiments.ServeRecord
 
 func main() {
 	var (
-		n        = flag.Int("n", 10000, "overlay size for the convergence run")
-		k        = flag.Int("k", 0, "degree budget (0 = 8, or 4 below 1000 nodes)")
-		sample   = flag.String("sample", "", "sampling spec strategy:m (default demand:<n/20, capped 500>)")
-		epochs   = flag.Int("epochs", 0, "epoch cap for the convergence run (0 = engine default)")
-		seed     = flag.Int64("seed", 2008, "random seed")
-		workers  = flag.Int("workers", 0, "convergence-run parallelism (0 = NumCPU; wiring is identical for any value)")
-		wiringIn = flag.String("wiring", "", "load this wiring file instead of running the engine")
-		saveW    = flag.String("save-wiring", "", "save the converged wiring to this file")
-		httpAddr = flag.String("http", "", "serve route queries over HTTP on this address")
-		bench    = flag.Bool("bench", false, "run the embedded load generator")
-		benchDur = flag.Duration("bench-duration", 3*time.Second, "load-generator duration per mode")
-		clients  = flag.Int("clients", 1, "concurrent load-generator clients (1 = the single-core number)")
-		modes    = flag.String("modes", "onehop,route", "comma-separated lookup paths to bench: onehop, route, batchjson, batchbin")
-		cores    = flag.Int("cores", 1, "server shards (0 = NumCPU); above 1 the onehop/route benches add *_multicore records with one pinned client per shard")
-		batchSz  = flag.Int("batch", 256, "pairs per request in the batchjson/batchbin bench modes")
-		binAddr  = flag.String("binary", "", "serve the length-prefixed binary batch protocol on this TCP address")
-		benchOut = flag.String("bench-json", "", "write BENCH_serve.json records to this path")
-		baseline = flag.String("baseline", "", "gate against this serve-baseline file (fails below min_onehop_qps)")
-		cacheRow = flag.Int("cache-rows", 256, "shortest-path row cache size (rows)")
-		pubBench = flag.Int("publish-bench", 0, "run the publication-cost bench over this many churned epochs (0 = off): times every sub-round publication both as a delta Patch and as a full Compile and emits publish_delta/publish_full records")
+		n         = flag.Int("n", 10000, "overlay size for the convergence run")
+		k         = flag.Int("k", 0, "degree budget (0 = 8, or 4 below 1000 nodes)")
+		sample    = flag.String("sample", "", "sampling spec strategy:m (default demand:<n/20, capped 500>)")
+		epochs    = flag.Int("epochs", 0, "epoch cap for the convergence run (0 = engine default)")
+		seed      = flag.Int64("seed", 2008, "random seed")
+		workers   = flag.Int("workers", 0, "convergence-run parallelism (0 = NumCPU; wiring is identical for any value)")
+		wiringIn  = flag.String("wiring", "", "load this wiring file instead of running the engine")
+		saveW     = flag.String("save-wiring", "", "save the converged wiring to this file")
+		httpAddr  = flag.String("http", "", "serve route queries over HTTP on this address")
+		bench     = flag.Bool("bench", false, "run the embedded load generator")
+		benchDur  = flag.Duration("bench-duration", 3*time.Second, "load-generator duration per mode")
+		clients   = flag.Int("clients", 1, "concurrent load-generator clients (1 = the single-core number)")
+		modes     = flag.String("modes", "onehop,route", "comma-separated lookup paths to bench: onehop, route, batchjson, batchbin")
+		cores     = flag.Int("cores", 1, "server shards (0 = NumCPU); above 1 the onehop/route benches add *_multicore records with one pinned client per shard")
+		batchSz   = flag.Int("batch", 256, "pairs per request in the batchjson/batchbin bench modes")
+		binAddr   = flag.String("binary", "", "serve the length-prefixed binary batch protocol on this TCP address")
+		benchOut  = flag.String("bench-json", "", "write BENCH_serve.json records to this path")
+		baseline  = flag.String("baseline", "", "gate against this serve-baseline file (fails below min_onehop_qps)")
+		cacheRow  = flag.Int("cache-rows", 256, "shortest-path row cache size (rows)")
+		pprofFlag = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -http mux")
+		pubBench  = flag.Int("publish-bench", 0, "run the publication-cost bench over this many churned epochs (0 = off): times every sub-round publication both as a delta Patch and as a full Compile and emits publish_delta/publish_full records")
 	)
 	flag.Parse()
 
@@ -194,8 +195,16 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("serving /route /routes /routes.bin /snapshot on http://%s\n", ln.Addr())
-			hs = &http.Server{Handler: srv.Handler()}
+			reg := obs.NewRegistry()
+			srv.EnableMetrics(reg)
+			mux := http.NewServeMux()
+			mux.Handle("/", srv.Handler())
+			mux.Handle("/metrics", reg.Handler())
+			if *pprofFlag {
+				obs.MountPprof(mux)
+			}
+			fmt.Printf("serving /route /routes /routes.bin /snapshot /metrics on http://%s\n", ln.Addr())
+			hs = &http.Server{Handler: mux}
 			go func() { _ = hs.Serve(ln) }()
 		}
 		if *binAddr != "" {
@@ -311,53 +320,14 @@ func saveWiring(path string, wf *wiringFile) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// latHist is a log-scale latency histogram: bucket i spans
-// [base·g^i, base·g^(i+1)) nanoseconds with g = 1.25, covering ~45ns
-// to ~80s in 96 buckets — ±12% quantile resolution, no allocation on
-// the hot path.
-type latHist struct {
-	buckets [96]int64
-	count   int64
-}
-
-const histBase = 45.0 // ns
-var histLogG = math.Log(1.25)
-
-func (h *latHist) add(ns int64) {
-	idx := 0
-	if f := float64(ns); f > histBase {
-		idx = int(math.Log(f/histBase) / histLogG)
-		if idx >= len(h.buckets) {
-			idx = len(h.buckets) - 1
-		}
-	}
-	h.buckets[idx]++
-	h.count++
-}
-
-func (h *latHist) merge(o *latHist) {
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-	h.count += o.count
-}
-
-// quantile returns the q-quantile in microseconds (the geometric mean
-// of the bucket's bounds).
-func (h *latHist) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.count))
-	var seen int64
-	for i, c := range h.buckets {
-		seen += c
-		if seen > target {
-			lo := histBase * math.Exp(float64(i)*histLogG)
-			return lo * math.Sqrt(1.25) / 1e3
-		}
-	}
-	return histBase * math.Exp(float64(len(h.buckets))*histLogG) / 1e3
+// bucketSlice flattens a histogram's merged bucket vector for the
+// LatBuckets field of a ServeRecord. The bucket scheme (and the
+// quantile math the record's p50/p90/p99 come from) lives in
+// internal/obs — this binary's private histogram moved there verbatim,
+// so the reported quantiles are bit-identical to the pre-move ones.
+func bucketSlice(h *obs.Histogram) []int64 {
+	m := h.Merged()
+	return append([]int64(nil), m[:]...)
 }
 
 // runBench hammers one lookup path with the given number of client
@@ -402,18 +372,18 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 		return ServeRecord{}, fmt.Errorf("unknown bench mode %q (want onehop or route)", mode)
 	}
 
-	hists := make([]*latHist, clients)
+	// One padded histogram cell per client: no shared cache lines in the
+	// measured loops, one merge at read time.
+	hist := obs.NewHistogram(clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(dur)
 	for c := 0; c < clients; c++ {
-		hists[c] = &latHist{}
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			sh := srv.Shard(c)
 			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
-			h := hists[c]
 			var buf []int32
 			for b := 0; ; b++ {
 				// Check the clock once per 64 lookups: a syscall-free
@@ -441,28 +411,27 @@ func runBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, clien
 				if err != nil {
 					panic(err) // ids are in range and a snapshot is published
 				}
-				h.add(time.Since(t0).Nanoseconds())
+				hist.ObserveShard(c, time.Since(t0).Nanoseconds())
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	total := &latHist{}
-	for _, h := range hists {
-		total.merge(h)
-	}
+	count := hist.Count()
 	return ServeRecord{
-		Name:    "serve_" + mode,
-		N:       n,
-		K:       k,
-		Epoch:   snap.Epoch(),
-		Clients: clients,
-		Seconds: elapsed,
-		Lookups: total.count,
-		QPS:     float64(total.count) / elapsed,
-		P50us:   total.quantile(0.50),
-		P90us:   total.quantile(0.90),
-		P99us:   total.quantile(0.99),
+		Name:         "serve_" + mode,
+		N:            n,
+		K:            k,
+		Epoch:        snap.Epoch(),
+		Clients:      clients,
+		Seconds:      elapsed,
+		Lookups:      count,
+		QPS:          float64(count) / elapsed,
+		P50us:        hist.QuantileUS(0.50),
+		P90us:        hist.QuantileUS(0.90),
+		P99us:        hist.QuantileUS(0.99),
+		LatBuckets:   bucketSlice(hist),
+		BucketScheme: obs.BucketScheme,
 	}, nil
 }
 
@@ -520,18 +489,16 @@ func runBatchBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, 
 	}
 	addr := ln.Addr().String()
 
-	hists := make([]*latHist, clients)
+	hist := obs.NewHistogram(clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(dur)
 	for c := 0; c < clients; c++ {
-		hists[c] = &latHist{}
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(c)*104729))
-			h := hists[c]
 			if mode == "batchbin" {
 				client, err := plane.DialBinary(addr)
 				if err != nil {
@@ -561,7 +528,7 @@ func runBatchBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, 
 						errs[c] = fmt.Errorf("binary batch answered %d of %d pairs", len(rs), batch)
 						return
 					}
-					h.add(time.Since(t0).Nanoseconds())
+					hist.ObserveShard(c, time.Since(t0).Nanoseconds())
 				}
 				return
 			}
@@ -594,7 +561,7 @@ func runBatchBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, 
 					errs[c] = fmt.Errorf("JSON batch answered %d of %d pairs", len(resp.Results), batch)
 					return
 				}
-				h.add(time.Since(t0).Nanoseconds())
+				hist.ObserveShard(c, time.Since(t0).Nanoseconds())
 			}
 		}(c)
 	}
@@ -605,19 +572,18 @@ func runBatchBench(srv *plane.Server, snap *plane.Snapshot, k int, mode string, 
 			return ServeRecord{}, fmt.Errorf("%s client: %w", mode, err)
 		}
 	}
-	total := &latHist{}
-	for _, h := range hists {
-		total.merge(h)
-	}
-	if total.count == 0 {
+	count := hist.Count()
+	if count == 0 {
 		return ServeRecord{}, fmt.Errorf("%s bench completed no batches", mode)
 	}
 	rec.Seconds = elapsed
-	rec.Lookups = total.count * int64(batch)
+	rec.Lookups = count * int64(batch)
 	rec.QPS = float64(rec.Lookups) / elapsed
-	rec.P50us = total.quantile(0.50)
-	rec.P90us = total.quantile(0.90)
-	rec.P99us = total.quantile(0.99)
+	rec.P50us = hist.QuantileUS(0.50)
+	rec.P90us = hist.QuantileUS(0.90)
+	rec.P99us = hist.QuantileUS(0.99)
+	rec.LatBuckets = bucketSlice(hist)
+	rec.BucketScheme = obs.BucketScheme
 	return rec, nil
 }
 
@@ -751,11 +717,11 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 	var (
 		prev            *plane.Snapshot
 		seq             int64
-		deltaHist       latHist
-		fullHist        latHist
 		deltaNs, fullNs int64
 		changedRows     int64
 	)
+	deltaHist := obs.NewHistogram(1)
+	fullHist := obs.NewHistogram(1)
 	opts := plane.Options{RouteCacheRows: cacheRows}
 	// The timing goroutine owns fullHist/fullNs until fullWG is waited.
 	type pubCopy struct {
@@ -773,7 +739,7 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 			plane.Compile(pc.seq, pc.wiring, pc.active, oracle, opts)
 			ns := time.Since(t).Nanoseconds()
 			fullNs += ns
-			fullHist.add(ns)
+			fullHist.Observe(ns)
 		}
 	}()
 	cfg := sim.ScaleConfig{
@@ -799,7 +765,7 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 			t := time.Now()
 			next := prev.Patch(seq, pub.Changed, pub.Wiring, pub.Active)
 			deltaNs += time.Since(t).Nanoseconds()
-			deltaHist.add(time.Since(t).Nanoseconds())
+			deltaHist.Observe(time.Since(t).Nanoseconds())
 			prev = next
 			seq++
 			changedRows += int64(len(pub.Changed))
@@ -813,26 +779,27 @@ func runPublishBench(n, k int, sampleSpec string, seed int64, workers, epochs, c
 	if runErr != nil {
 		return nil, runErr
 	}
-	if fullHist.count == 0 {
+	if fullHist.Count() == 0 {
 		return nil, fmt.Errorf("publish bench ran no publications")
 	}
-	mk := func(name string, h *latHist, totalNs int64) ServeRecord {
+	mk := func(name string, h *obs.Histogram, totalNs int64) ServeRecord {
 		secs := float64(totalNs) / 1e9
 		return ServeRecord{
 			Name: name, N: n, K: k, Epoch: int64(epochs), Clients: 1,
-			Seconds: secs, Lookups: h.count, QPS: float64(h.count) / secs,
-			P50us: h.quantile(0.50), P90us: h.quantile(0.90), P99us: h.quantile(0.99),
+			Seconds: secs, Lookups: h.Count(), QPS: float64(h.Count()) / secs,
+			P50us: h.QuantileUS(0.50), P90us: h.QuantileUS(0.90), P99us: h.QuantileUS(0.99),
+			LatBuckets: bucketSlice(h), BucketScheme: obs.BucketScheme,
 		}
 	}
 	recs := []ServeRecord{
-		mk("publish_full", &fullHist, fullNs),
-		mk("publish_delta", &deltaHist, deltaNs),
+		mk("publish_full", fullHist, fullNs),
+		mk("publish_delta", deltaHist, deltaNs),
 	}
 	for _, rec := range recs {
 		fmt.Printf("bench %-13s publications=%-6d p50=%.2fµs p90=%.2fµs p99=%.2fµs\n",
 			rec.Name, rec.Lookups, rec.P50us, rec.P90us, rec.P99us)
 	}
 	fmt.Printf("publish bench: delta p50 is %.1f%% of full-recompile p50 (%.1f changed rows/publication)\n",
-		100*recs[1].P50us/recs[0].P50us, float64(changedRows)/float64(fullHist.count))
+		100*recs[1].P50us/recs[0].P50us, float64(changedRows)/float64(fullHist.Count()))
 	return recs, nil
 }

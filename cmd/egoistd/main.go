@@ -47,6 +47,7 @@ import (
 
 	"egoist/internal/core"
 	"egoist/internal/linkstate"
+	"egoist/internal/obs"
 	"egoist/internal/overlay"
 	"egoist/internal/plane"
 	"egoist/internal/roster"
@@ -74,7 +75,8 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 0, "BR(eps) threshold")
 		donated   = flag.Int("donated", 0, "HybridBR donated links (k2)")
 		immediate = flag.Bool("immediate", false, "repair dropped links immediately instead of at the next epoch")
-		httpAddr  = flag.String("http", "", "serve /status, the data plane, and /ctl/drop on this address (e.g. 127.0.0.1:0)")
+		httpAddr  = flag.String("http", "", "serve /status, the data plane, /metrics, and /ctl/drop on this address (e.g. 127.0.0.1:0)")
+		pprofFlag = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -http mux")
 		seed      = flag.Int64("seed", 0, "RNG seed (0 derives one from the id)")
 		oracleStr = flag.String("oracle", "", "synthetic delay oracle 'lite:<seed>': adds Lite-underlay one-way delays to echo probes, so loopback deployments reproduce wide-area geometry")
 		runFor    = flag.Duration("run-for", 0, "exit cleanly after this long (0 runs until SIGINT/SIGTERM)")
@@ -123,6 +125,15 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
+
+	// The daemon's metrics registry. The probe instruments exist before
+	// the node starts (OnProbe fires from the first echo reply); the
+	// scrape-time callbacks over node and transport state register right
+	// after Start.
+	reg := obs.NewRegistry()
+	probeNS := reg.Histogram("egoistd_probe_latency_ns", "accepted one-way probe delay samples (ns)")
+	probes := reg.Counter("egoistd_probes_total", "echo measurements folded into the delay estimator")
+
 	node, err := overlay.Start(overlay.Config{
 		ID: *id, N: n, K: *k,
 		Policy:      core.BRPolicy{Donated: *donated},
@@ -138,12 +149,42 @@ func main() {
 		// Config.SeqBase).
 		SeqBase: uint64(time.Now().UnixNano()),
 		Seed:    *seed,
-		Logf:    logf,
+		OnProbe: func(peer int, oneWayMS float64) {
+			probes.Inc()
+			probeNS.Observe(int64(oneWayMS * 1e6))
+		},
+		Logf: logf,
 	})
 	if err != nil {
 		log.Fatalf("egoistd: %v", err)
 	}
 	log.Printf("egoistd: node %d up on %s (k=%d, T=%v)", *id, transport.LocalAddr(), *k, *epoch)
+
+	// Protocol state the node and transport already maintain, read at
+	// scrape time.
+	reg.GaugeFunc("egoistd_lsa_seq", "sequence number of this node's latest LSA", func() float64 {
+		return float64(node.Seq())
+	})
+	reg.GaugeFunc("egoistd_pex_peers", "peers learned via bootstrap replies or PEX gossip", func() float64 {
+		return float64(node.JoinedPeers())
+	})
+	reg.GaugeFunc("egoistd_neighbors", "current out-neighbor count", func() float64 {
+		return float64(len(node.Neighbors()))
+	})
+	reg.CounterFunc("egoistd_rewires_total", "links established after bootstrap", func() int64 {
+		return int64(node.Rewires())
+	})
+	reg.CounterFunc("egoistd_epochs_total", "wiring epochs run", func() int64 {
+		return int64(node.Epochs())
+	})
+	reg.CounterFunc("egoistd_fault_drops_send_total", "datagrams discarded on send by injected fault rules", func() int64 {
+		send, _ := transport.FaultDrops()
+		return send
+	})
+	reg.CounterFunc("egoistd_fault_drops_recv_total", "inbound datagrams discarded by injected fault rules", func() int64 {
+		_, recv := transport.FaultDrops()
+		return recv
+	})
 
 	// The daemon's data plane: every epoch the node's link-state view is
 	// compiled into an immutable plane.Snapshot and swapped into the
@@ -155,6 +196,7 @@ func main() {
 	boundHTTP := ""
 	if *httpAddr != "" {
 		planeSrv := plane.NewServer()
+		planeSrv.EnableMetrics(reg)
 		publishPlane = func() {
 			g := node.AnnouncedView()
 			planeSrv.Publish(plane.CompileGraph(int64(node.Epochs()), g, plane.GraphDelays(g), plane.Options{}))
@@ -165,7 +207,11 @@ func main() {
 			mux.Handle("/route", h)
 			mux.Handle("/routes", h)
 			mux.Handle("/snapshot", h)
+			mux.Handle("/metrics", reg.Handler())
 			mux.Handle("/ctl/drop", dropController(transport))
+			if *pprofFlag {
+				obs.MountPprof(mux)
+			}
 		})
 		if err != nil {
 			log.Fatalf("egoistd: http: %v", err)

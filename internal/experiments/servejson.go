@@ -43,6 +43,13 @@ type ServeRecord struct {
 	Protocol string `json:"protocol,omitempty"`
 	// Batch is the pairs-per-request of batch records.
 	Batch int `json:"batch,omitempty"`
+	// LatBuckets is the record's raw latency bucket vector under the
+	// scheme named by BucketScheme (internal/obs), so downstream tooling
+	// can recompute any quantile or overlay full distributions instead
+	// of settling for the three reported points.
+	LatBuckets []int64 `json:"lat_buckets,omitempty"`
+	// BucketScheme names the bucket bounds of LatBuckets.
+	BucketScheme string `json:"bucket_scheme,omitempty"`
 }
 
 // ServeBaseline is the CI gate schema (ci/serve_baseline.json).

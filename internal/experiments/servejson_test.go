@@ -3,6 +3,7 @@ package experiments
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -18,7 +19,8 @@ func TestServeJSONRoundTrip(t *testing.T) {
 			Seconds: 1, Lookups: 4000, QPS: 4000, P50us: 1, P90us: 2, P99us: 3, Cores: 4},
 		{Name: "serve_batchbin", N: 100, K: 4, Clients: 1,
 			Seconds: 1, Lookups: 2560, QPS: 2560, P50us: 40, P90us: 50, P99us: 90,
-			Protocol: "tcp-binary", Batch: 256},
+			Protocol: "tcp-binary", Batch: 256,
+			LatBuckets: []int64{0, 3, 7}, BucketScheme: "log-ns-base45-g1.25-96"},
 	}
 	if err := WriteServeJSON(path, recs); err != nil {
 		t.Fatal(err)
@@ -31,7 +33,7 @@ func TestServeJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip returned %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !reflect.DeepEqual(got[i], recs[i]) {
 			t.Fatalf("round trip mangled record %d: %+v want %+v", i, got[i], recs[i])
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -156,6 +157,9 @@ type UDPTransport struct {
 	ch   chan Packet
 	done chan struct{}
 	once sync.Once
+
+	dropSend atomic.Int64 // datagrams discarded by the fault rule on send
+	dropRecv atomic.Int64 // inbound datagrams discarded by the fault rule
 }
 
 // NewUDPTransport binds a UDP socket on addr (e.g. "127.0.0.1:0") and
@@ -221,6 +225,14 @@ func (t *UDPTransport) SetFault(drop func(peer int) bool) {
 	t.drop = drop
 }
 
+// FaultDrops reports how many datagrams the injected fault rule has
+// discarded on each leg since the transport started. The counters keep
+// counting across rule changes (they tally hits, not rules), so a lab
+// scrape sees exactly how much traffic a partition actually suppressed.
+func (t *UDPTransport) FaultDrops() (send, recv int64) {
+	return t.dropSend.Load(), t.dropRecv.Load()
+}
+
 // Send implements Transport.
 func (t *UDPTransport) Send(to int, data []byte) error {
 	t.mu.RLock()
@@ -231,6 +243,7 @@ func (t *UDPTransport) Send(to int, data []byte) error {
 		return fmt.Errorf("linkstate: no address for node %d", to)
 	}
 	if drop != nil && drop(to) {
+		t.dropSend.Add(1)
 		return nil // dropped by an injected fault, like the real network
 	}
 	_, err := t.conn.WriteToUDP(data, addr)
@@ -272,6 +285,7 @@ func (t *UDPTransport) recvLoop() {
 			from = -1
 		}
 		if drop != nil && drop(from) {
+			t.dropRecv.Add(1)
 			continue // inbound leg of an injected fault
 		}
 		pkt := Packet{From: from, Data: append([]byte(nil), buf[:n]...), Addr: raddr}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the zero-alloc gate skips under it (the detector's
+// instrumentation allocates on otherwise allocation-free paths).
+const raceEnabled = true

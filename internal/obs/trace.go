@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// TraceWriter emits structured events as JSON Lines — one marshaled
+// event per line, flushed on Close. It is safe for concurrent Emit
+// calls; events from different goroutines interleave at line
+// granularity. The trace stream is diagnostic output, not part of any
+// determinism contract: events carry wall-clock durations.
+type TraceWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	f  *os.File
+}
+
+// OpenTrace creates (truncating) the JSONL trace file at path.
+func OpenTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceWriter{bw: bufio.NewWriterSize(f, 64<<10), f: f}, nil
+}
+
+// Emit marshals v and appends it as one line.
+func (t *TraceWriter) Emit(v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.bw.Write(data); err != nil {
+		return err
+	}
+	return t.bw.WriteByte('\n')
+}
+
+// Close flushes and closes the underlying file.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}

@@ -88,6 +88,11 @@ type Config struct {
 	Cheat *cheat.Model
 	// Seed feeds the node's private RNG.
 	Seed int64
+	// OnProbe, when non-nil, receives every accepted echo measurement:
+	// the probed peer and the one-way delay sample (ms) folded into the
+	// estimator. Called on the receive goroutine without the node lock;
+	// keep it cheap (the daemon points it at a metrics histogram).
+	OnProbe func(peer int, oneWayMS float64)
 	// Logf, when non-nil, receives diagnostic output.
 	Logf func(format string, args ...interface{})
 }
@@ -251,6 +256,24 @@ func (n *Node) Epochs() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.epochs
+}
+
+// Seq returns the sequence number of the node's latest LSA. It only
+// grows (from SeqBase), so a fleet monitor can spot a wedged announcer
+// by a flat series.
+func (n *Node) Seq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seq
+}
+
+// JoinedPeers returns how many distinct peers this node has learned
+// through bootstrap membership replies or PEX gossip — the node's view
+// of fleet membership, 0 under a static roster.
+func (n *Node) JoinedPeers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.joined)
 }
 
 // Estimate returns the node's smoothed delay estimate to peer (ms).
@@ -470,6 +493,9 @@ func (n *Node) handleEchoReply(c *linkstate.Control) {
 	e.fold(oneWay)
 	n.lastReply[peer] = now
 	n.mu.Unlock()
+	if n.cfg.OnProbe != nil {
+		n.cfg.OnProbe(peer, oneWay)
+	}
 }
 
 // timerLoop multiplexes the epoch, announce, heartbeat and measurement

@@ -3,17 +3,22 @@ package plane
 import (
 	"math/rand"
 	"testing"
+
+	"egoist/internal/obs"
 )
 
 // allocServer builds a sharded server with a published snapshot and
 // pre-warms the rows the alloc gates will query, so every measured
-// iteration runs the cache-warm path.
+// iteration runs the cache-warm path. Metrics are enabled: the gates
+// hold for the instrumented paths — latency histogram observation and
+// cache-counter classification included — not just the bare ones.
 func allocServer(t *testing.T, shards int) (Shard, int) {
 	t.Helper()
 	const n, k = 120, 4
 	net := testNet(t, n)
 	wiring := randomWiring(n, k, rand.New(rand.NewSource(77)))
 	srv := NewServerShards(shards)
+	srv.EnableMetrics(obs.NewRegistry())
 	srv.Publish(Compile(0, wiring, nil, net, Options{}))
 	return srv.Shard(0), n
 }

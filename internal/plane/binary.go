@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"time"
 
 	"egoist/internal/graph"
 )
@@ -182,6 +183,10 @@ func (h Shard) AnswerBinary(req, dst []byte) ([]byte, error) {
 		sh.failed.Add(1)
 		return appendBinError(dst, ErrNoSnapshot.Error()), nil
 	}
+	t0 := time.Time{}
+	if sh.m != nil {
+		t0 = time.Now()
+	}
 	dst = append(dst, binRespOK)
 	dst = appendU64(dst, uint64(snap.epoch))
 	dst = appendU32(dst, uint32(count))
@@ -261,6 +266,9 @@ func (h Shard) AnswerBinary(req, dst []byte) ([]byte, error) {
 	}
 	if nFail > 0 {
 		sh.failed.Add(nFail)
+	}
+	if sh.m != nil {
+		sh.m.batchNs.ObserveShard(sh.idx, time.Since(t0).Nanoseconds())
 	}
 	return dst, nil
 }

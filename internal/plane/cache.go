@@ -2,6 +2,7 @@ package plane
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"egoist/internal/graph"
 )
@@ -22,8 +23,49 @@ type rowCache struct {
 	head    *rowEntry // most recently used
 	tail    *rowEntry // least recently used
 	ready   int       // computed entries (only these are evictable)
+	stats   *cacheStats
 
 	scratch sync.Pool // *graph.SPScratch
+}
+
+// cacheStats are demand-path row-cache counters, owned by whoever
+// serves the cache (the Server threads one instance through every
+// snapshot and shard view it publishes, so the series survives
+// publishes). A hit found a computed row; a collapse joined a row
+// another goroutine was still computing (the singleflight path — the
+// miss-storm signal); a miss paid the Dijkstra. Publish-time row
+// warming and carry-over seeding are deliberate precompute, not demand
+// traffic, and are not counted.
+type cacheStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	collapses atomic.Int64
+}
+
+// CacheStats is one consistent-enough read of the row-cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Collapses int64 `json:"collapses"`
+}
+
+func (st *cacheStats) read() CacheStats {
+	return CacheStats{
+		Hits:      st.hits.Load(),
+		Misses:    st.misses.Load(),
+		Evictions: st.evictions.Load(),
+		Collapses: st.collapses.Load(),
+	}
+}
+
+// setStats attaches the owner's counters (nil detaches). Rows computed
+// while no stats are attached are simply not counted.
+func (c *rowCache) setStats(st *cacheStats) {
+	c.mu.Lock()
+	c.stats = st
+	c.mu.Unlock()
 }
 
 // rowEntry is one source's distance/parent row plus its LRU links.
@@ -52,7 +94,19 @@ func (c *rowCache) get(src int) *rowEntry {
 	c.mu.Lock()
 	if e, ok := c.entries[src]; ok {
 		c.moveFront(e)
+		st := c.stats
 		c.mu.Unlock()
+		if st != nil {
+			// Classify before blocking: a still-open ready channel means
+			// this query joined an in-flight compute — the singleflight
+			// collapse the miss-storm diagnostics watch.
+			select {
+			case <-e.done:
+				st.hits.Add(1)
+			default:
+				st.collapses.Add(1)
+			}
+		}
 		<-e.done
 		return e
 	}
@@ -60,6 +114,9 @@ func (c *rowCache) get(src int) *rowEntry {
 	c.entries[src] = e
 	c.pushFront(e)
 	c.evictLocked()
+	if c.stats != nil {
+		c.stats.misses.Add(1)
+	}
 	c.mu.Unlock()
 
 	sp, _ := c.scratch.Get().(*graph.SPScratch)
@@ -91,6 +148,9 @@ func (c *rowCache) evictLocked() {
 			c.unlink(e)
 			delete(c.entries, e.src)
 			c.ready--
+			if c.stats != nil {
+				c.stats.evictions.Add(1)
+			}
 		default:
 		}
 		e = prev

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // cacheSnapshot compiles a small snapshot with a row-cache cap low
@@ -15,13 +16,19 @@ func cacheSnapshot(t *testing.T, n, capRows int) *Snapshot {
 }
 
 // TestRowCacheOverCapBound pins the documented transient over-cap
-// bound: under G concurrent distinct-source misses the cache may hold
-// up to cap+G entries (in-flight rows are never evicted), but once the
-// misses resolve and one more get runs eviction, the population is
-// back at cap.
+// bound: under G concurrent workers the cache may hold up to cap+G
+// entries (in-flight rows are never evicted), but once the misses
+// resolve and one more get runs eviction, the population is back at
+// cap. The bound is asserted against the cache's real counters — the
+// resident population is exactly misses − evictions, and every get is
+// classified exactly once as hit, miss, or singleflight collapse — so
+// the test watches the same signals /metrics exports instead of
+// private LRU state.
 func TestRowCacheOverCapBound(t *testing.T) {
 	const n, capRows, g = 120, 8, 16
 	snap := cacheSnapshot(t, n, capRows)
+	var st cacheStats
+	snap.rows.setStats(&st)
 
 	var wg sync.WaitGroup
 	start := make(chan struct{})
@@ -30,10 +37,16 @@ func TestRowCacheOverCapBound(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			<-start
-			for src := w; src < n; src += g {
-				snap.rows.get(src)
-				if got := snap.rows.size(); got > capRows+g {
-					t.Errorf("cache grew to %d entries, over-cap bound is cap+G = %d", got, capRows+g)
+			// Every worker walks every source (offset by w), so sources
+			// are contended: concurrent gets on one source collapse onto
+			// a single Dijkstra.
+			for i := 0; i < n; i++ {
+				snap.rows.get((w + i) % n)
+				// Misses first, evictions second: evictions only grow, so
+				// the estimate never exceeds the true population at the
+				// time the miss counter was read.
+				if held := st.misses.Load() - st.evictions.Load(); held > capRows+g {
+					t.Errorf("cache held %d rows, over-cap bound is cap+G = %d", held, capRows+g)
 				}
 			}
 		}(w)
@@ -41,13 +54,73 @@ func TestRowCacheOverCapBound(t *testing.T) {
 	close(start)
 	wg.Wait()
 
+	if total := st.hits.Load() + st.misses.Load() + st.collapses.Load(); total != g*n {
+		t.Fatalf("hits+misses+collapses = %d, want one classification per get = %d", total, g*n)
+	}
+
 	// One more miss runs evictLocked with nothing in flight: the
 	// steady-state population is the cap again (+1 transiently for the
 	// in-flight row itself, which resolves before get returns... and is
 	// then evictable, so bound at cap+1).
 	snap.rows.get(0)
-	if got := snap.rows.size(); got > capRows+1 {
-		t.Fatalf("cache holds %d entries after misses drained, want <= cap+1 = %d", got, capRows+1)
+	held := st.misses.Load() - st.evictions.Load()
+	if held > capRows+1 {
+		t.Fatalf("counters say %d rows held after misses drained, want <= cap+1 = %d", held, capRows+1)
+	}
+	if got := snap.rows.size(); int64(got) != held {
+		t.Fatalf("misses-evictions = %d but cache holds %d entries — counters drifted from the population", held, got)
+	}
+}
+
+// TestRowCacheCollapseCounter pins the singleflight-collapse signal
+// deterministically: a get that joins a row another goroutine is still
+// computing is counted as a collapse — not a hit, not a miss — before
+// it blocks. This is the miss-storm indicator: collapses spiking while
+// misses stay flat means many clients piled onto few cold rows.
+func TestRowCacheCollapseCounter(t *testing.T) {
+	const n = 10
+	snap := cacheSnapshot(t, n, 4)
+	var st cacheStats
+	c := snap.rows
+	c.setStats(&st)
+
+	// An in-flight entry, constructed by hand (open done channel).
+	c.mu.Lock()
+	e := &rowEntry{src: 5, done: make(chan struct{})}
+	c.entries[5] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+
+	got := make(chan *rowEntry)
+	go func() { got <- c.get(5) }()
+
+	// The collapse is counted before the waiter blocks on the row.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.collapses.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("collapse counter never moved while a get waited on an in-flight row")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Resolve the row; the waiter returns it.
+	c.mu.Lock()
+	e.dist = make([]float64, n)
+	e.parent = make([]int32, n)
+	c.ready++
+	c.mu.Unlock()
+	close(e.done)
+	if row := <-got; row != e {
+		t.Fatal("waiter returned a different entry than the in-flight row")
+	}
+	if h, m, co := st.hits.Load(), st.misses.Load(), st.collapses.Load(); h != 0 || m != 0 || co != 1 {
+		t.Fatalf("hits=%d misses=%d collapses=%d, want 0/0/1", h, m, co)
+	}
+
+	// A repeat get on the now-computed row is a plain hit.
+	c.get(5)
+	if h := st.hits.Load(); h != 1 {
+		t.Fatalf("hits = %d after a warm get, want 1", h)
 	}
 }
 

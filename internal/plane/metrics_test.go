@@ -1,0 +1,129 @@
+package plane
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"egoist/internal/obs"
+)
+
+// TestServerMetricsExposition drives queries through an instrumented
+// server and checks the registered series move: query counters track
+// the shard atomics, latency histograms observe, cache counters
+// classify, and the snapshot gauges report the serving epoch.
+func TestServerMetricsExposition(t *testing.T) {
+	const n, k = 80, 4
+	net := testNet(t, n)
+	srv := NewServerShards(2)
+	reg := obs.NewRegistry()
+	srv.EnableMetrics(reg)
+	srv.Publish(Compile(7, randomWiring(n, k, rand.New(rand.NewSource(5))), nil, net, Options{}))
+
+	for i := 0; i < 10; i++ {
+		if _, _, err := srv.Shard(0).OneHop(i, n-1); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := srv.Shard(1).RouteCost(i%3, n-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := AppendBatchRequest(nil, BinModeOneHop, []uint32{1, 2, 3, 4})
+	if _, err := srv.Shard(0).AnswerBinary(req, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.ParsePrometheus(buf.Bytes())
+	for series, want := range map[string]float64{
+		`plane_queries_onehop_total{shard="0"}`: 12, // 10 direct + 2 binary pairs
+		`plane_queries_onehop_total{shard="1"}`: 0,
+		`plane_queries_route_total{shard="1"}`:  10,
+		`plane_onehop_latency_ns_count`:         10, // binary pairs land in the batch histogram
+		`plane_route_latency_ns_count`:          10,
+		`plane_batch_latency_ns_count`:          1,
+		`plane_publish_latency_ns_count`:        1,
+		`plane_snapshot_epoch`:                  7,
+		`plane_snapshot_live`:                   float64(n),
+	} {
+		if got, ok := m[series]; !ok || got != want {
+			t.Errorf("series %s = %v (present=%v), want %v", series, got, ok, want)
+		}
+	}
+	// 10 RouteCost calls over 3 sources: 3 misses then hits.
+	if m["plane_cache_misses_total"] != 3 {
+		t.Errorf("cache misses = %v, want 3", m["plane_cache_misses_total"])
+	}
+	if m["plane_cache_hits_total"] != 7 {
+		t.Errorf("cache hits = %v, want 7", m["plane_cache_hits_total"])
+	}
+	if age, ok := m["plane_snapshot_age_seconds"]; !ok || age < 0 {
+		t.Errorf("snapshot age = %v (present=%v), want >= 0", age, ok)
+	}
+	st := srv.CacheStats()
+	if st.Misses != 3 || st.Hits != 7 {
+		t.Errorf("CacheStats() = %+v, want 3 misses / 7 hits", st)
+	}
+}
+
+// TestSnapshotEndpointPerShard pins the GET /snapshot additions: the
+// per-shard counter breakdown, the row-cache counters, and the
+// snapshot age ride alongside the summed totals.
+func TestSnapshotEndpointPerShard(t *testing.T) {
+	const n, k = 60, 4
+	net := testNet(t, n)
+	srv := NewServerShards(2)
+	srv.Publish(Compile(3, randomWiring(n, k, rand.New(rand.NewSource(9))), nil, net, Options{}))
+	for i := 0; i < 5; i++ {
+		if _, _, err := srv.Shard(0).OneHop(i, n-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := srv.Shard(1).RouteCost(0, n-1); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		QueriesOneHop int64 `json:"queries_onehop"`
+		PerShard      []struct {
+			Shard  int   `json:"shard"`
+			OneHop int64 `json:"onehop"`
+			Routes int64 `json:"routes"`
+		} `json:"per_shard"`
+		Cache      CacheStats `json:"cache"`
+		AgeSeconds *float64   `json:"age_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.QueriesOneHop != 5 {
+		t.Fatalf("summed onehop = %d, want 5", info.QueriesOneHop)
+	}
+	if len(info.PerShard) != 2 {
+		t.Fatalf("per_shard has %d rows, want 2", len(info.PerShard))
+	}
+	if info.PerShard[0].OneHop != 5 || info.PerShard[1].OneHop != 0 {
+		t.Fatalf("per-shard onehop = %d/%d, want 5/0", info.PerShard[0].OneHop, info.PerShard[1].OneHop)
+	}
+	if info.PerShard[1].Routes != 1 {
+		t.Fatalf("shard 1 routes = %d, want 1", info.PerShard[1].Routes)
+	}
+	if info.Cache.Misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", info.Cache.Misses)
+	}
+	if info.AgeSeconds == nil || *info.AgeSeconds < 0 {
+		t.Fatalf("age_seconds = %v, want present and >= 0", info.AgeSeconds)
+	}
+}

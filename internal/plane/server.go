@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"egoist/internal/graph"
 )
@@ -49,11 +50,13 @@ const DefaultHotRows = 64
 // Publish-ers and query-ers, though the engines publish from a single
 // goroutine.
 type Server struct {
-	shards []*shard
-	base   atomic.Pointer[Snapshot]
-	rr     atomic.Uint32 // round-robin shard pick for unpinned callers
-	mu     sync.Mutex    // serializes Publish bookkeeping
-	hotK   int
+	shards  []*shard
+	base    atomic.Pointer[Snapshot]
+	rr      atomic.Uint32 // round-robin shard pick for unpinned callers
+	mu      sync.Mutex    // serializes Publish bookkeeping
+	hotK    int
+	pubTime atomic.Int64 // UnixNano of the last Publish (0 = never)
+	cstats  cacheStats   // row-cache counters, threaded through every publish
 }
 
 // shard is one core's serving state. The counters of different shards
@@ -69,6 +72,8 @@ type shard struct {
 	// publish-time hot-row precompute ranks on. Swapped wholesale when
 	// the snapshot's node-id space changes size.
 	hits atomic.Pointer[[]uint64]
+	idx  int            // this shard's index (metrics cell selector)
+	m    *serverMetrics // nil until Server.EnableMetrics
 	_    [64]byte
 }
 
@@ -88,7 +93,7 @@ func NewServerShards(p int) *Server {
 	}
 	s := &Server{shards: make([]*shard, p), hotK: DefaultHotRows}
 	for i := range s.shards {
-		s.shards[i] = &shard{}
+		s.shards[i] = &shard{idx: i}
 	}
 	return s
 }
@@ -136,9 +141,15 @@ func (s *Server) pick() *shard {
 func (s *Server) Publish(snap *Snapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := time.Now()
+	// Counters stay detached while warming: publish-time precompute is
+	// deliberate work, not demand traffic, and must not skew the
+	// hit/miss signal adaptive sizing would read.
+	snap.rows.setStats(nil)
 	if k := s.hotK; k > 0 {
 		snap.warmRows(s.topHot(snap, k))
 	}
+	snap.rows.setStats(&s.cstats)
 	n := snap.N()
 	for _, sh := range s.shards {
 		if p := sh.hits.Load(); p == nil || len(*p) != n {
@@ -149,10 +160,16 @@ func (s *Server) Publish(snap *Snapshot) {
 	s.base.Store(snap)
 	if len(s.shards) == 1 {
 		s.shards[0].cur.Store(snap)
-		return
+	} else {
+		for _, sh := range s.shards {
+			view := snap.shardView()
+			view.rows.setStats(&s.cstats)
+			sh.cur.Store(view)
+		}
 	}
-	for _, sh := range s.shards {
-		sh.cur.Store(snap.shardView())
+	s.pubTime.Store(time.Now().UnixNano())
+	if m := s.shards[0].m; m != nil {
+		m.publishNs.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -255,6 +272,12 @@ func (h Shard) OneHop(src, dst int) (Decision, int64, error) {
 		return Decision{}, snap.epoch, err
 	}
 	h.sh.onehop.Add(1)
+	if m := h.sh.m; m != nil {
+		t0 := time.Now()
+		d := snap.OneHop(src, dst)
+		m.onehopNs.ObserveShard(h.sh.idx, time.Since(t0).Nanoseconds())
+		return d, snap.epoch, nil
+	}
 	return snap.OneHop(src, dst), snap.epoch, nil
 }
 
@@ -273,6 +296,12 @@ func (h Shard) Route(src, dst int) (Route, bool, int64, error) {
 	}
 	h.sh.routes.Add(1)
 	h.sh.hit(src)
+	if m := h.sh.m; m != nil {
+		t0 := time.Now()
+		r, ok := snap.Route(src, dst)
+		m.routeNs.ObserveShard(h.sh.idx, time.Since(t0).Nanoseconds())
+		return r, ok, snap.epoch, nil
+	}
 	r, ok := snap.Route(src, dst)
 	return r, ok, snap.epoch, nil
 }
@@ -292,6 +321,12 @@ func (h Shard) RouteCost(src, dst int) (float64, int64, error) {
 	}
 	h.sh.routes.Add(1)
 	h.sh.hit(src)
+	if m := h.sh.m; m != nil {
+		t0 := time.Now()
+		c := snap.RouteCost(src, dst)
+		m.routeNs.ObserveShard(h.sh.idx, time.Since(t0).Nanoseconds())
+		return c, snap.epoch, nil
+	}
 	return snap.RouteCost(src, dst), snap.epoch, nil
 }
 
@@ -311,6 +346,12 @@ func (h Shard) AppendRoute(src, dst int, buf []int32) (path []int32, cost float6
 	}
 	h.sh.routes.Add(1)
 	h.sh.hit(src)
+	if m := h.sh.m; m != nil {
+		t0 := time.Now()
+		path, cost, ok = snap.RouteInto(src, dst, buf)
+		m.routeNs.ObserveShard(h.sh.idx, time.Since(t0).Nanoseconds())
+		return path, cost, ok, nil
+	}
 	path, cost, ok = snap.RouteInto(src, dst, buf)
 	return path, cost, ok, nil
 }
@@ -385,7 +426,14 @@ func answerPair(sh *shard, snap *Snapshot, mode string, src, dst int) routeResul
 	switch mode {
 	case "", "onehop":
 		sh.onehop.Add(1)
+		t0 := time.Time{}
+		if sh.m != nil {
+			t0 = time.Now()
+		}
 		d := snap.OneHop(src, dst)
+		if sh.m != nil {
+			sh.m.onehopNs.ObserveShard(sh.idx, time.Since(t0).Nanoseconds())
+		}
 		res.Cost = d.Cost
 		res.Ok = d.Cost < graph.Inf
 		if !res.Ok {
@@ -398,7 +446,14 @@ func answerPair(sh *shard, snap *Snapshot, mode string, src, dst int) routeResul
 	case "route":
 		sh.routes.Add(1)
 		sh.hit(src)
+		t0 := time.Time{}
+		if sh.m != nil {
+			t0 = time.Now()
+		}
 		r, ok := snap.Route(src, dst)
+		if sh.m != nil {
+			sh.m.routeNs.ObserveShard(sh.idx, time.Since(t0).Nanoseconds())
+		}
 		res.Cost = r.Cost
 		res.Path = r.Path
 		res.Ok = ok
@@ -483,21 +538,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// shardCounters is one shard's query-counter row in GET /snapshot —
+// the per-shard breakdown that makes shard imbalance visible next to
+// the summed totals.
+type shardCounters struct {
+	Shard  int   `json:"shard"`
+	OneHop int64 `json:"onehop"`
+	Routes int64 `json:"routes"`
+	Failed int64 `json:"failed"`
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.base.Load()
 	onehop, routes, failed := s.Stats()
+	perShard := make([]shardCounters, len(s.shards))
+	for i, sh := range s.shards {
+		perShard[i] = shardCounters{
+			Shard:  i,
+			OneHop: sh.onehop.Load(),
+			Routes: sh.routes.Load(),
+			Failed: sh.failed.Load(),
+		}
+	}
 	info := map[string]interface{}{
 		"published":      snap != nil,
 		"shards":         len(s.shards),
 		"queries_onehop": onehop,
 		"queries_route":  routes,
 		"queries_failed": failed,
+		"per_shard":      perShard,
+		"cache":          s.cstats.read(),
 	}
 	if snap != nil {
 		info["epoch"] = snap.epoch
 		info["nodes"] = snap.N()
 		info["live"] = snap.NumLive()
 		info["arcs"] = snap.NumArcs()
+		info["age_seconds"] = s.SnapshotAge().Seconds()
 	}
 	writeJSON(w, info)
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"egoist/internal/obs"
 	"egoist/internal/sampling"
 )
 
@@ -42,8 +43,45 @@ type LabOptions struct {
 	// Dir, when non-empty, keeps per-node logs and announce files there;
 	// otherwise a temp dir is used and removed on success.
 	Dir string
+	// MetricsJSON, when non-empty, writes the fleet metrics timeline
+	// there: every epoch boundary each reachable daemon's /metrics is
+	// scraped and the curated series (probe, PEX, LSA, fault-drop and
+	// data-plane counters) are recorded per node. The file is written
+	// even when a later gate fails — it is the debugging artifact.
+	MetricsJSON string
 	// Logf, when non-nil, receives progress output.
 	Logf func(format string, args ...interface{})
+}
+
+// labScrapeSeries is the per-daemon series kept in the fleet timeline.
+// A lab daemon's plane runs unsharded, so the plane query counters
+// render unlabeled.
+var labScrapeSeries = []string{
+	"egoistd_probes_total",
+	"egoistd_probe_latency_ns_count",
+	"egoistd_pex_peers",
+	"egoistd_neighbors",
+	"egoistd_lsa_seq",
+	"egoistd_rewires_total",
+	"egoistd_epochs_total",
+	"egoistd_fault_drops_send_total",
+	"egoistd_fault_drops_recv_total",
+	"plane_queries_onehop_total",
+	"plane_queries_route_total",
+	"plane_cache_hits_total",
+	"plane_cache_misses_total",
+	"plane_snapshot_epoch",
+}
+
+// LabMetricsSample is one scrape sweep over the fleet: the epoch whose
+// boundary triggered it, the wall-clock offset from deployment start,
+// and each scraped daemon's curated series. Killed daemons are simply
+// absent; isolated ones still answer (the partition drops UDP, not
+// HTTP) and show their fault-drop counters climbing.
+type LabMetricsSample struct {
+	Epoch int                        `json:"epoch"`
+	TimeS float64                    `json:"t_seconds"`
+	Nodes map[int]map[string]float64 `json:"nodes"`
 }
 
 // LabMetrics is the deployment-specific half of a lab run's record:
@@ -154,12 +192,14 @@ type labProc struct {
 
 // labRun is the running deployment.
 type labRun struct {
-	spec   *Spec
-	opts   LabOptions
-	dir    string
-	procs  map[int]*labProc
-	client *http.Client
-	lab    LabMetrics
+	spec    *Spec
+	opts    LabOptions
+	dir     string
+	procs   map[int]*labProc
+	client  *http.Client
+	lab     LabMetrics
+	t0      time.Time
+	samples []LabMetricsSample
 }
 
 // RunLab deploys the spec against real egoistd processes and returns a
@@ -223,6 +263,7 @@ func RunLab(spec Spec, opts LabOptions) (*Metrics, error) {
 	}
 	r.lab.Bound = opts.Bound
 	defer r.teardown()
+	defer r.writeFleetMetrics()
 
 	m := &Metrics{
 		Scenario: spec.Name, Engine: EngineLab,
@@ -515,6 +556,7 @@ func (r *labRun) playTimeline(events []labEvent, m *Metrics) error {
 		return steps[a].measure < steps[b].measure
 	})
 	t0 := time.Now()
+	r.t0 = t0
 	for _, s := range steps {
 		due := t0.Add(time.Duration(s.at * float64(r.opts.Epoch)))
 		if d := time.Until(due); d > 0 {
@@ -529,6 +571,7 @@ func (r *labRun) playTimeline(events []labEvent, m *Metrics) error {
 		cost, rewires := r.measure()
 		m.CostPerEpoch = append(m.CostPerEpoch, cost)
 		m.RewiresPerEpoch = append(m.RewiresPerEpoch, rewires)
+		r.scrapeFleet(s.measure)
 		r.opts.Logf("lab %s: epoch %d cost=%.2f rewires=%d alive=%d",
 			r.spec.Name, s.measure, cost, rewires, r.aliveCount())
 	}
@@ -553,6 +596,7 @@ func (r *labRun) playTimeline(events []labEvent, m *Metrics) error {
 		cost, rewires := r.measure()
 		m.CostPerEpoch = append(m.CostPerEpoch, cost)
 		m.RewiresPerEpoch = append(m.RewiresPerEpoch, rewires)
+		r.scrapeFleet(r.spec.Epochs + extra)
 		if rewires == 0 {
 			quiet++
 		} else {
@@ -792,6 +836,90 @@ func (r *labRun) measure() (cost float64, rewires int) {
 		r.lab.MinReachability = frac
 	}
 	return total / float64(responded) / float64(len(ids)-1), rewires
+}
+
+// scrapeFleet sweeps every running daemon's /metrics endpoint (HTTP
+// still answers inside an injected partition) and appends one fleet
+// sample. Scrape failures skip the node — a daemon dying mid-sweep is
+// exactly the kind of moment the timeline should record, not abort on.
+func (r *labRun) scrapeFleet(epoch int) {
+	if r.opts.MetricsJSON == "" {
+		return
+	}
+	var ids []int
+	for id, p := range r.procs {
+		if p.alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	nodes := make([]map[string]float64, len(ids))
+	var wg sync.WaitGroup
+	for idx, id := range ids {
+		wg.Add(1)
+		go func(idx, id int) {
+			defer wg.Done()
+			resp, err := r.client.Get("http://" + r.procs[id].http + "/metrics")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				return
+			}
+			all := obs.ParsePrometheus(buf.Bytes())
+			kept := make(map[string]float64, len(labScrapeSeries))
+			for _, name := range labScrapeSeries {
+				if v, ok := all[name]; ok {
+					kept[name] = v
+				}
+			}
+			nodes[idx] = kept
+		}(idx, id)
+	}
+	wg.Wait()
+	sample := LabMetricsSample{
+		Epoch: epoch,
+		TimeS: time.Since(r.t0).Seconds(),
+		Nodes: make(map[int]map[string]float64, len(ids)),
+	}
+	for idx, id := range ids {
+		if nodes[idx] != nil {
+			sample.Nodes[id] = nodes[idx]
+		}
+	}
+	r.samples = append(r.samples, sample)
+}
+
+// writeFleetMetrics dumps the accumulated scrape timeline. Runs on the
+// RunLab defer so a failed convergence gate still leaves the artifact.
+func (r *labRun) writeFleetMetrics() {
+	if r.opts.MetricsJSON == "" || len(r.samples) == 0 {
+		return
+	}
+	dump := struct {
+		Scenario string             `json:"scenario"`
+		N        int                `json:"n"`
+		EpochSec float64            `json:"epoch_seconds"`
+		Series   []string           `json:"series"`
+		Samples  []LabMetricsSample `json:"samples"`
+	}{
+		Scenario: r.spec.Name, N: r.spec.N,
+		EpochSec: r.opts.Epoch.Seconds(),
+		Series:   labScrapeSeries,
+		Samples:  r.samples,
+	}
+	data, err := json.MarshalIndent(dump, "", " ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(r.opts.MetricsJSON, append(data, '\n'), 0o644); err != nil {
+		r.opts.Logf("lab %s: fleet metrics write: %v", r.spec.Name, err)
+		return
+	}
+	r.opts.Logf("lab %s: fleet metrics timeline (%d samples) written to %s",
+		r.spec.Name, len(r.samples), r.opts.MetricsJSON)
 }
 
 // teardown kills the whole fleet and closes its logs.

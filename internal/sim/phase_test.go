@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"egoist/internal/sampling"
+)
+
+// TestScaleOnPhaseEvents pins the phase-trace feed: every epoch emits
+// its churn/rebuild/propose/adopt/publish events in order, the epoch
+// summary's rewires agree with the result record, and — the part the
+// determinism contract cares about — enabling the hook changes no
+// result byte.
+func TestScaleOnPhaseEvents(t *testing.T) {
+	cfg := ScaleConfig{
+		N: 96, K: 4, Seed: 11,
+		Sample:    sampling.Spec{Strategy: sampling.Uniform, M: 12},
+		MaxEpochs: 3, Workers: 2,
+	}
+	base, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []PhaseEvent
+	traced := cfg
+	traced.OnPhase = func(ev PhaseEvent) { events = append(events, ev) }
+	got, err := RunScale(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Wiring, got.Wiring) {
+		t.Fatal("OnPhase changed the converged wiring")
+	}
+	if len(base.PerEpoch) != len(got.PerEpoch) {
+		t.Fatalf("OnPhase changed the epoch count: %d vs %d", len(base.PerEpoch), len(got.PerEpoch))
+	}
+	for e := range base.PerEpoch {
+		if base.PerEpoch[e].Rewires != got.PerEpoch[e].Rewires {
+			t.Fatalf("OnPhase changed epoch %d rewires", e)
+		}
+	}
+
+	if len(events) == 0 {
+		t.Fatal("no phase events emitted")
+	}
+	perPhase := map[string]int{}
+	var summaries []PhaseEvent
+	for _, ev := range events {
+		perPhase[ev.Phase]++
+		if ev.NS < 0 {
+			t.Fatalf("negative duration in %+v", ev)
+		}
+		if ev.Phase == "epoch" {
+			summaries = append(summaries, ev)
+		}
+	}
+	for _, phase := range []string{"churn", "rebuild", "propose", "adopt", "publish", "epoch"} {
+		if perPhase[phase] == 0 {
+			t.Errorf("no %q events emitted (saw %v)", phase, perPhase)
+		}
+	}
+	if len(summaries) != got.Epochs {
+		t.Fatalf("%d epoch summaries for %d epochs", len(summaries), got.Epochs)
+	}
+	for e, ev := range summaries {
+		if ev.Epoch != e {
+			t.Fatalf("summary %d reports epoch %d", e, ev.Epoch)
+		}
+		if ev.Rewires != got.PerEpoch[e].Rewires {
+			t.Fatalf("epoch %d summary rewires %d, result says %d", e, ev.Rewires, got.PerEpoch[e].Rewires)
+		}
+		if ev.Alive != got.PerEpoch[e].Alive {
+			t.Fatalf("epoch %d summary alive %d, result says %d", e, ev.Alive, got.PerEpoch[e].Alive)
+		}
+	}
+	// Per-sub-round adopt rewires must sum to each epoch's total.
+	adoptSum := map[int]int{}
+	for _, ev := range events {
+		if ev.Phase == "adopt" {
+			adoptSum[ev.Epoch] += ev.Rewires
+		}
+	}
+	for e := range summaries {
+		if adoptSum[e] != got.PerEpoch[e].Rewires {
+			t.Fatalf("epoch %d adopt events sum to %d rewires, epoch total is %d", e, adoptSum[e], got.PerEpoch[e].Rewires)
+		}
+	}
+}

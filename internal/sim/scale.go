@@ -169,8 +169,51 @@ type ScaleConfig struct {
 	// may be set (each epoch's final-drain publication fires before
 	// that epoch's OnEpoch call).
 	OnPublish func(pub Publication)
+	// OnPhase, when non-nil, receives one timed PhaseEvent per engine
+	// phase — churn drains, directory rebuilds, each sub-round's
+	// propose/adopt split, and every publication — the observability
+	// feed for phase-level tracing and /metrics. It is called serially
+	// on the engine goroutine, outside the parallel proposal phase.
+	// Durations are wall-clock and for diagnosis only: the hook never
+	// feeds back into the dynamics, so the engine's byte-identical
+	// any-(workers, shards) result contract is unaffected, and when the
+	// hook is nil the engine takes no extra clock readings at all.
+	OnPhase func(ev PhaseEvent)
 	// BROpts tunes the per-node solver.
 	BROpts core.BROptions
+}
+
+// PhaseEvent is one timed engine phase, emitted through
+// ScaleConfig.OnPhase. The JSON tags are the trace-stream (JSONL)
+// schema egoist-bench -trace writes; events are diagnostic output and
+// excluded from every determinism comparison.
+type PhaseEvent struct {
+	// Epoch is the epoch being played (-1 covers bootstrap-time work).
+	Epoch int `json:"epoch"`
+	// Sub is the stagger sub-round within the epoch, -1 for
+	// epoch-level phases (the start-of-epoch churn drain, the directory
+	// rebuild, the epoch summary). The epoch-final churn drain and
+	// publication carry Sub == Rounds.
+	Sub int `json:"sub"`
+	// Phase is one of churn | rebuild | propose | adopt | publish |
+	// epoch ("epoch" is the whole-epoch summary event).
+	Phase string `json:"phase"`
+	// NS is the phase's wall-clock duration in nanoseconds.
+	NS int64 `json:"ns"`
+	// Rewires is the re-wirings applied (adopt: this sub-round; epoch:
+	// the epoch total).
+	Rewires int `json:"rewires,omitempty"`
+	// Resets / Applies are the directory's cumulative full resets and
+	// incremental applies (rebuild events).
+	Resets  int `json:"resets,omitempty"`
+	Applies int `json:"applies,omitempty"`
+	// Alive is the live membership after the phase (churn and epoch
+	// events).
+	Alive int `json:"alive,omitempty"`
+	// Joins / Leaves are the epoch's cumulative membership events so
+	// far (churn and epoch events).
+	Joins  int `json:"joins,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
 }
 
 func (c *ScaleConfig) withDefaults() (ScaleConfig, error) {
@@ -783,16 +826,33 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 			}
 		}
 	}
-	if c.OnEpoch != nil {
-		// Publish the bootstrap wiring so the data plane can answer
-		// queries from epoch 0's first sub-round onward.
-		c.OnEpoch(-1, eng.wiring, eng.active)
+	// Phase tracing: when OnPhase is nil the engine takes no extra
+	// clock readings; traceStart returns the zero time and every emit
+	// branch is dead.
+	trace := c.OnPhase
+	traceStart := func() time.Time {
+		if trace == nil {
+			return time.Time{}
+		}
+		return time.Now()
 	}
-	if c.OnPublish != nil {
-		// The bootstrap publication — see the ordering contract at the
-		// OnPublish field: this Full publication is strictly first, and
-		// every sub-round delta below applies on top of it.
-		c.OnPublish(Publication{Epoch: -1, SubRound: -1, Rounds: c.StaggerBatches, Full: true, Wiring: eng.wiring, Active: eng.active})
+
+	if c.OnEpoch != nil || c.OnPublish != nil {
+		t0 := traceStart()
+		if c.OnEpoch != nil {
+			// Publish the bootstrap wiring so the data plane can answer
+			// queries from epoch 0's first sub-round onward.
+			c.OnEpoch(-1, eng.wiring, eng.active)
+		}
+		if c.OnPublish != nil {
+			// The bootstrap publication — see the ordering contract at the
+			// OnPublish field: this Full publication is strictly first, and
+			// every sub-round delta below applies on top of it.
+			c.OnPublish(Publication{Epoch: -1, SubRound: -1, Rounds: c.StaggerBatches, Full: true, Wiring: eng.wiring, Active: eng.active})
+		}
+		if trace != nil {
+			trace(PhaseEvent{Epoch: -1, Sub: -1, Phase: "publish", NS: time.Since(t0).Nanoseconds(), Alive: eng.aliveCount()})
+		}
 	}
 
 	// Fixed batch partition: node i acts in sub-round i mod B.
@@ -811,7 +871,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		// previous epoch's end-of-epoch call; this start-of-run sweep
 		// (before the first rebuild, which absorbs it for free) only
 		// catches events scheduled before epoch 0.
+		t0 := traceStart()
 		eng.runScaleChurn(float64(epoch), false)
+		if trace != nil {
+			trace(PhaseEvent{Epoch: epoch, Sub: -1, Phase: "churn", NS: time.Since(t0).Nanoseconds(),
+				Alive: eng.aliveCount(), Joins: eng.joins, Leaves: eng.leaves})
+		}
 		// Membership is fixed for the epoch (full per-member Dijkstras
 		// once); the sub-round loop below keeps the rows exact against
 		// the live wiring via incremental repair. The stagger only
@@ -820,7 +885,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		// play — every node re-wires trusting distances that its peers'
 		// simultaneous re-wirings have already invalidated, and the
 		// overlay collapses into a state nobody evaluated.
+		t0 = traceStart()
 		eng.pool.rebuild(&c, eng, epoch, workers)
+		if trace != nil {
+			trace(PhaseEvent{Epoch: epoch, Sub: -1, Phase: "rebuild", NS: time.Since(t0).Nanoseconds(),
+				Resets: eng.pool.resets, Applies: eng.pool.applies})
+		}
 		demand := c.demandFor(epoch)
 		ep := ScaleEpoch{PoolSize: len(eng.pool.ids)}
 		samples := 0
@@ -829,7 +899,12 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 			if b > 0 {
 				// Mid-epoch membership events land between sub-rounds
 				// and repair the live directory incrementally.
+				t0 = traceStart()
 				eng.runScaleChurn(float64(epoch)+float64(b)/float64(len(batches)), true)
+				if trace != nil {
+					trace(PhaseEvent{Epoch: epoch, Sub: b, Phase: "churn", NS: time.Since(t0).Nanoseconds(),
+						Alive: eng.aliveCount(), Joins: eng.joins, Leaves: eng.leaves})
+				}
 			}
 			// A drained overlay (fewer alive nodes than a wiring needs)
 			// sits the proposal phase out until joins replenish it.
@@ -838,28 +913,51 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 					props[i].acted = false
 				}
 			} else {
+				t0 = traceStart()
 				if err := eng.proposeBatch(ws, batch, epoch, demand, props); err != nil {
 					return nil, err
 				}
+				if trace != nil {
+					trace(PhaseEvent{Epoch: epoch, Sub: b, Phase: "propose", NS: time.Since(t0).Nanoseconds()})
+				}
+				t0 = traceStart()
+				before := ep.Rewires
 				a, s := eng.adoptBatch(batch, props, &ep)
 				acted += a
 				samples += s
+				if trace != nil {
+					trace(PhaseEvent{Epoch: epoch, Sub: b, Phase: "adopt", NS: time.Since(t0).Nanoseconds(),
+						Rewires: ep.Rewires - before})
+				}
 			}
 			// Sub-round publication: the batch's adoptions plus any churn
 			// drained since the previous publication (idle sub-rounds
 			// publish an empty delta so subscribers can pace on them).
+			t0 = traceStart()
 			eng.publish(epoch, b, len(batches))
+			if trace != nil {
+				trace(PhaseEvent{Epoch: epoch, Sub: b, Phase: "publish", NS: time.Since(t0).Nanoseconds()})
+			}
 		}
 		// Drain the last sub-round window's events before the epoch
 		// closes: without this, events scheduled inside the final
 		// 1/StaggerBatches of the run's last epoch would silently never
 		// apply while pendingEvents still counted them.
+		t0 = traceStart()
 		eng.runScaleChurn(float64(epoch+1), true)
+		if trace != nil {
+			trace(PhaseEvent{Epoch: epoch, Sub: len(batches), Phase: "churn", NS: time.Since(t0).Nanoseconds(),
+				Alive: eng.aliveCount(), Joins: eng.joins, Leaves: eng.leaves})
+		}
 		// The epoch-final drain's delta publishes before OnEpoch so the
 		// legacy hook stays the epoch's last word.
+		t0 = traceStart()
 		eng.publish(epoch, len(batches), len(batches))
 		if c.OnEpoch != nil {
 			c.OnEpoch(epoch, eng.wiring, eng.active)
+		}
+		if trace != nil {
+			trace(PhaseEvent{Epoch: epoch, Sub: len(batches), Phase: "publish", NS: time.Since(t0).Nanoseconds()})
 		}
 		if acted > 0 {
 			ep.MeanEstCost /= float64(acted)
@@ -870,6 +968,10 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		ep.Joins, ep.Leaves = eng.joins, eng.leaves
 		ep.Alive = eng.aliveCount()
 		ep.WallNS = time.Since(start).Nanoseconds()
+		if trace != nil {
+			trace(PhaseEvent{Epoch: epoch, Sub: -1, Phase: "epoch", NS: ep.WallNS,
+				Rewires: ep.Rewires, Alive: ep.Alive, Joins: ep.Joins, Leaves: ep.Leaves})
+		}
 		res.PerEpoch = append(res.PerEpoch, ep)
 		res.Joins += eng.joins
 		res.Leaves += eng.leaves
